@@ -1,0 +1,349 @@
+// Package roadpart's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation (via internal/experiments) and measure
+// the substrate hot paths. Each experiment benchmark reports how long one
+// full regeneration takes at ScaleSmall; run cmd/experiments -scale full
+// for the paper-sized numbers.
+package roadpart
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"roadpart/internal/core"
+	"roadpart/internal/cut"
+	"roadpart/internal/eigen"
+	"roadpart/internal/experiments"
+	"roadpart/internal/gen"
+	"roadpart/internal/jiger"
+	"roadpart/internal/linalg"
+	"roadpart/internal/metrics"
+	"roadpart/internal/render"
+	"roadpart/internal/roadnet"
+	"roadpart/internal/supergraph"
+	"roadpart/internal/temporal"
+	"roadpart/internal/traffic"
+)
+
+// quick keeps experiment benchmarks fast while exercising the full path.
+var quick = experiments.Options{Scale: experiments.ScaleSmall, Runs: 2, KMin: 2, KMax: 6}
+
+// --- one benchmark per paper table/figure ---
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(quick, "M1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(quick, "D1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(quick, "M1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(quick, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benchmarks (DESIGN.md §5) ---
+
+func BenchmarkAblationStability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationStability(quick, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWeighting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationWeighting(quick, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationReduction(quick, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate benchmarks ---
+
+var (
+	fixtureOnce sync.Once
+	fixtureNet  *roadnet.Network
+	fixtureErr  error
+)
+
+// benchNet returns a cached mid-size congested city (~2000 segments).
+func benchNet(b *testing.B) *roadnet.Network {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		net, err := gen.City(gen.CityConfig{TargetIntersections: 1200, TargetSegments: 2100, Seed: 3})
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		snap, err := traffic.SyntheticField(net, traffic.FieldConfig{Hotspots: 6, Seed: 4})
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		fixtureErr = traffic.ApplySnapshot(net, snap)
+		fixtureNet = net
+	})
+	if fixtureErr != nil {
+		b.Fatal(fixtureErr)
+	}
+	return fixtureNet
+}
+
+func BenchmarkDualGraph(b *testing.B) {
+	net := benchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := roadnet.DualGraph(net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSupergraphMine(b *testing.B) {
+	net := benchNet(b)
+	g, err := roadnet.DualGraph(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := net.Densities()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := supergraph.Mine(g, f, supergraph.MineOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionAlphaCutSupergraph(b *testing.B) {
+	net := benchNet(b)
+	p, err := core.NewPipeline(net, core.Config{Scheme: core.ASG, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := 5
+	if len(p.SG.Nodes) < k {
+		k = len(p.SG.Nodes)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PartitionK(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionNCutDirect(b *testing.B) {
+	net := benchNet(b)
+	g, err := roadnet.DualGraph(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wg := core.SimilarityWeighted(g, net.Densities())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cut.Partition(wg, 5, cut.MethodNCut, cut.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJiGerBaseline(b *testing.B) {
+	net := benchNet(b)
+	g, err := roadnet.DualGraph(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := net.Densities()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jiger.Partition(g, f, 5, jiger.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMetricsEvaluate(b *testing.B) {
+	net := benchNet(b)
+	res, err := core.Partition(net, core.Config{K: 5, Scheme: core.ASG, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := roadnet.DualGraph(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := net.Densities()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.Evaluate(f, res.Assign, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// randomSymDense builds a deterministic symmetric matrix for eigen benches.
+func randomSymDense(n int) *linalg.Dense {
+	rng := gen.NewRNG(uint64(n))
+	m := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := 2*rng.Float64() - 1
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func BenchmarkEigenDense300(b *testing.B) {
+	m := randomSymDense(300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eigen.SymEigen(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigenLanczos3000(b *testing.B) {
+	// The α-Cut operator at supergraph scale: sparse graph + rank-one.
+	net := benchNet(b)
+	g, err := roadnet.DualGraph(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adj, err := core.SimilarityWeighted(g, net.Densities()).AdjacencyCSR()
+	if err != nil {
+		b.Fatal(err)
+	}
+	op, err := cut.NewAlphaCutOp(adj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eigen.Lanczos(op, 6, eigen.LanczosOptions{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTemporalDistributed(b *testing.B) {
+	net := benchNet(b)
+	snaps, err := traffic.Simulate(net, traffic.SimConfig{Vehicles: 1500, Steps: 200, RecordEvery: 40, Seed: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := []int{0, 2, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := temporal.Run(net, snaps, at, temporal.ModeDistributed, temporal.Config{Scheme: core.ASG, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRenderPartitions(b *testing.B) {
+	net := benchNet(b)
+	res, err := core.Partition(net, core.Config{K: 5, Scheme: core.ASG, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink bytes.Buffer
+		if err := render.Partitions(&sink, net, res.Assign, render.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullScaleM1 runs the complete framework (modules 1–3, ASG,
+// k=5) on the paper-sized M1 network — 10,096 intersections, 17,206
+// segments, 25,246 vehicles — the Table 3 M1 row as a benchmark.
+func BenchmarkFullScaleM1(b *testing.B) {
+	ds, err := experiments.BuildDataset("M1", experiments.ScaleFull)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Partition(ds.Net, core.Config{K: 5, Scheme: core.ASG, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrafficSimulate(b *testing.B) {
+	net := benchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := traffic.Simulate(net, traffic.SimConfig{Vehicles: 1000, Steps: 100, Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShortestPath(b *testing.B) {
+	net := benchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := traffic.ShortestPath(net, 0, len(net.Intersections)-1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command partdiff compares two partition assignments (the CSV emitted by
+// cmd/roadpart): Adjusted Rand Index, partition counts and the confusion
+// summary — the tool for tracking how regions moved between two
+// re-partitioning rounds.
+//
+//	partdiff morning.csv evening.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"roadpart/internal/metrics"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: partdiff A.csv B.csv")
+		os.Exit(2)
+	}
+	a, err := readAssignment(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	b, err := readAssignment(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	if len(a) != len(b) {
+		fatal(fmt.Errorf("segment counts differ: %d vs %d", len(a), len(b)))
+	}
+	ari, err := metrics.ARI(a, b)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("segments: %d\n", len(a))
+	fmt.Printf("partitions: %d vs %d\n", count(a), count(b))
+	fmt.Printf("adjusted rand index: %.4f\n", ari)
+
+	// Top region overlaps: for each A-region, where did it go?
+	type move struct {
+		from, to, n int
+	}
+	overlap := map[[2]int]int{}
+	for i := range a {
+		overlap[[2]int{a[i], b[i]}]++
+	}
+	var moves []move
+	for k, n := range overlap {
+		moves = append(moves, move{from: k[0], to: k[1], n: n})
+	}
+	sort.Slice(moves, func(i, j int) bool { return moves[i].n > moves[j].n })
+	fmt.Println("largest region overlaps (A-region -> B-region: segments):")
+	for i, m := range moves {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %3d -> %3d: %d\n", m.from, m.to, m.n)
+	}
+}
+
+// readAssignment parses a segment_id,partition CSV (header optional); the
+// assignment is returned indexed by segment id.
+func readAssignment(path string) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	cr.FieldsPerRecord = 2
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byID := map[int]int{}
+	maxID := -1
+	for i, rec := range records {
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			if i == 0 {
+				continue // header
+			}
+			return nil, fmt.Errorf("%s row %d: bad id %q", path, i+1, rec[0])
+		}
+		p, err := strconv.Atoi(rec[1])
+		if err != nil || p < 0 {
+			return nil, fmt.Errorf("%s row %d: bad partition %q", path, i+1, rec[1])
+		}
+		if _, dup := byID[id]; dup {
+			return nil, fmt.Errorf("%s: duplicate segment %d", path, id)
+		}
+		byID[id] = p
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if len(byID) == 0 {
+		return nil, fmt.Errorf("%s: no assignments", path)
+	}
+	if len(byID) != maxID+1 {
+		return nil, fmt.Errorf("%s: segment ids not dense (%d ids, max %d)", path, len(byID), maxID)
+	}
+	out := make([]int, maxID+1)
+	for id, p := range byID {
+		out[id] = p
+	}
+	return out, nil
+}
+
+func count(assign []int) int {
+	seen := map[int]bool{}
+	for _, p := range assign {
+		seen[p] = true
+	}
+	return len(seen)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "partdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeCSV(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadAssignment(t *testing.T) {
+	path := writeCSV(t, "a.csv", "segment_id,partition\n0,1\n2,0\n1,1\n")
+	got, err := readAssignment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("assignment = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReadAssignmentErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "segment_id,partition\n",
+		"duplicate":     "0,1\n0,2\n",
+		"sparse ids":    "0,1\n5,0\n",
+		"bad partition": "0,x\n",
+		"negative":      "0,-2\n",
+	}
+	for name, content := range cases {
+		path := writeCSV(t, "bad.csv", content)
+		if _, err := readAssignment(path); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := readAssignment("/definitely/missing.csv"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestCount(t *testing.T) {
+	if c := count([]int{0, 1, 1, 3}); c != 3 {
+		t.Fatalf("count = %d, want 3", c)
+	}
+}

@@ -1,0 +1,216 @@
+// Command roadpart partitions an urban road network by traffic congestion.
+//
+// Input is either a generated preset (-preset D1|M1|M2|M3, traffic
+// included) or a network JSON file (-net) produced by cmd/gennet or by any
+// tool emitting the roadnet schema, optionally with a separate density CSV
+// (-densities).
+//
+// Usage:
+//
+//	roadpart -preset D1 -k 6 -scheme ASG
+//	roadpart -net city.json -densities now.csv -k 8 -scheme AG -out parts.csv
+//	roadpart -preset M1 -autok -kmax 15
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"roadpart/internal/core"
+	"roadpart/internal/experiments"
+	"roadpart/internal/render"
+	"roadpart/internal/roadnet"
+)
+
+func main() {
+	var (
+		netPath  = flag.String("net", "", "network JSON file")
+		densPath = flag.String("densities", "", "density CSV file (segment_id,density)")
+		preset   = flag.String("preset", "", "generate a preset dataset with traffic: D1, M1, M2, M3")
+		schemeN  = flag.String("scheme", "ASG", "partitioning scheme: AG, NG, ASG, NSG")
+		k        = flag.Int("k", 6, "number of partitions")
+		autoK    = flag.Bool("autok", false, "select k by the ANS minimum over [2, kmax]")
+		kmax     = flag.Int("kmax", 12, "upper bound for -autok")
+		stabEps  = flag.Float64("stability", 0, "supernode stability threshold in [0,1] (0 = off)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		outPath  = flag.String("out", "", "write segment,partition CSV here")
+		svgPath  = flag.String("svg", "", "write an SVG map of the partitions here")
+		geoPath  = flag.String("geojson", "", "write a GeoJSON FeatureCollection with partition properties here")
+	)
+	flag.Parse()
+
+	net, err := loadNetwork(*netPath, *densPath, *preset)
+	if err != nil {
+		fatal(err)
+	}
+	scheme, err := parseScheme(*schemeN)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{K: *k, Scheme: scheme, StabilityEps: *stabEps, Seed: *seed}
+
+	p, err := core.NewPipeline(net, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *autoK {
+		best, _, err := p.BestKByANS(2, *kmax)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("selected k=%d by ANS minimum\n", best)
+		cfg.K = best
+	}
+	res, err := p.PartitionK(cfg.K)
+	if err != nil {
+		fatal(err)
+	}
+
+	st := net.Stats()
+	fmt.Printf("network: %d intersections, %d segments\n", st.Intersections, st.Segments)
+	fmt.Printf("scheme:  %v (k=%d, k'=%d)\n", scheme, res.K, res.KPrime)
+	fmt.Printf("quality: inter=%.4f intra=%.4f GDBI=%.4f ANS=%.4f\n",
+		res.Report.Inter, res.Report.Intra, res.Report.GDBI, res.Report.ANS)
+	fmt.Printf("timing:  module1=%v module2=%v module3=%v total=%v\n",
+		res.Timing.Module1, res.Timing.Module2, res.Timing.Module3, res.Timing.Total)
+
+	sizes := make(map[int]int)
+	for _, p := range res.Assign {
+		sizes[p]++
+	}
+	fmt.Printf("partition sizes:")
+	for i := 0; i < res.K; i++ {
+		fmt.Printf(" %d", sizes[i])
+	}
+	fmt.Println()
+
+	if *outPath != "" {
+		if err := writeAssignment(*outPath, res.Assign); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+	if *svgPath != "" {
+		if err := writeSVG(*svgPath, net, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+	if *geoPath != "" {
+		f, err := os.Create(*geoPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := net.WriteGeoJSON(f, res.Assign); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *geoPath)
+	}
+}
+
+func writeSVG(path string, net *roadnet.Network, res *core.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("k=%d ANS=%.4f", res.K, res.Report.ANS)
+	if err := render.Partitions(f, net, res.Assign, render.Options{Title: title}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadNetwork(netPath, densPath, preset string) (*roadnet.Network, error) {
+	switch {
+	case preset != "" && netPath != "":
+		return nil, fmt.Errorf("use either -preset or -net, not both")
+	case preset != "":
+		ds, err := experiments.BuildDataset(preset, experiments.ScaleFull)
+		if err != nil {
+			return nil, err
+		}
+		return ds.Net, nil
+	case netPath != "":
+		var net *roadnet.Network
+		var err error
+		if strings.HasSuffix(netPath, ".geojson") {
+			f, ferr := os.Open(netPath)
+			if ferr != nil {
+				return nil, ferr
+			}
+			net, err = roadnet.ReadGeoJSON(f, 1)
+			f.Close()
+		} else {
+			net, err = roadnet.LoadJSON(netPath)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if densPath != "" {
+			f, err := os.Open(densPath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			if err := net.ReadDensitiesCSV(f); err != nil {
+				return nil, err
+			}
+		}
+		return net, nil
+	default:
+		return nil, fmt.Errorf("provide -net FILE or -preset NAME (see -h)")
+	}
+}
+
+func parseScheme(s string) (core.Scheme, error) {
+	switch s {
+	case "AG":
+		return core.AG, nil
+	case "NG":
+		return core.NG, nil
+	case "ASG":
+		return core.ASG, nil
+	case "NSG":
+		return core.NSG, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q (want AG, NG, ASG or NSG)", s)
+	}
+}
+
+func writeAssignment(path string, assign []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"segment_id", "partition"}); err != nil {
+		f.Close()
+		return err
+	}
+	for i, p := range assign {
+		if err := w.Write([]string{strconv.Itoa(i), strconv.Itoa(p)}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "roadpart:", err)
+	os.Exit(1)
+}

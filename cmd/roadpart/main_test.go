@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roadpart/internal/core"
+)
+
+func TestParseScheme(t *testing.T) {
+	cases := map[string]core.Scheme{"AG": core.AG, "NG": core.NG, "ASG": core.ASG, "NSG": core.NSG}
+	for name, want := range cases {
+		got, err := parseScheme(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("%s parsed to %v", name, got)
+		}
+	}
+	if _, err := parseScheme("XYZ"); err == nil {
+		t.Fatal("unknown scheme should error")
+	}
+}
+
+func TestWriteAssignment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "parts.csv")
+	if err := writeAssignment(path, []int{2, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header + 3", len(lines))
+	}
+	if lines[0] != "segment_id,partition" || lines[1] != "0,2" {
+		t.Fatalf("unexpected contents: %q", lines[:2])
+	}
+}
+
+func TestLoadNetworkValidation(t *testing.T) {
+	if _, err := loadNetwork("", "", ""); err == nil {
+		t.Fatal("no input should error")
+	}
+	if _, err := loadNetwork("x.json", "", "D1"); err == nil {
+		t.Fatal("both -net and -preset should error")
+	}
+	if _, err := loadNetwork("/definitely/missing.json", "", ""); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

@@ -1,0 +1,35 @@
+// Command roadpartd serves the partitioning framework over HTTP.
+//
+//	roadpartd -addr :8080
+//
+// Endpoints (JSON bodies; see internal/server):
+//
+//	POST /v1/partition  — {"network": {...}, "k": 6, "scheme": "ASG"}
+//	POST /v1/sweep      — {"network": {...}, "k_min": 2, "k_max": 12}
+//	GET  /v1/healthz
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"roadpart/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      server.New(),
+		ReadTimeout:  2 * time.Minute,
+		WriteTimeout: 10 * time.Minute, // large sweeps take a while
+	}
+	log.Printf("roadpartd listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

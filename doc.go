@@ -1,0 +1,29 @@
+// Package roadpart partitions large urban road networks into spatially
+// connected regions of homogeneous traffic congestion, implementing the
+// two-level spectral framework of Anwar, Liu, Vu and Leckie, "Spatial
+// Partitioning of Large Urban Road Networks" (EDBT 2014): road-graph
+// construction, road-supergraph mining, and the k-way α-Cut.
+//
+// This package is the public facade; the implementation lives under
+// internal/. A minimal session:
+//
+//	net, _ := roadpart.GenerateCity(roadpart.CityConfig{
+//		TargetIntersections: 400, TargetSegments: 750, Seed: 42,
+//	})
+//	snaps, _ := roadpart.SimulateTraffic(net, roadpart.TrafficConfig{Vehicles: 2000, Seed: 7})
+//	roadpart.ApplyDensities(net, snaps[len(snaps)-1])
+//
+//	res, _ := roadpart.Partition(net, roadpart.Config{K: 6, Scheme: roadpart.ASG, Seed: 1})
+//	for seg, region := range res.Assign { ... }
+//
+// Or let the framework pick k by the paper's ANS-minimum rule:
+//
+//	p, _ := roadpart.NewPipeline(net, roadpart.Config{Scheme: roadpart.ASG, Seed: 1})
+//	k, _, _ := p.BestKByANS(2, 12)
+//	res, _ := p.PartitionK(k)
+//
+// Networks round-trip through JSON (LoadNetwork/SaveNetwork) with
+// densities in CSV, so real city exports plug in wherever the generators
+// are used. See the examples/ directory for complete programs and
+// DESIGN.md / EXPERIMENTS.md for the reproduction study.
+package roadpart

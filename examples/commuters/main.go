@@ -1,0 +1,84 @@
+// Commuters: a monocentric ring-and-spoke city under origin–destination
+// commuter traffic. Vehicles follow shortest routes to hotspot
+// destinations (SimulateOD), which concentrates congestion on arterials —
+// a different regime from the lattice examples — and the partitioner
+// recovers the congested core and calmer periphery.
+//
+// Run with:
+//
+//	go run ./examples/commuters
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"roadpart"
+)
+
+func main() {
+	net, err := roadpart.GenerateRadialCity(roadpart.RadialConfig{
+		Rings:  12,
+		Spokes: 18,
+		TwoWay: true,
+		Jitter: 0.05,
+		Seed:   3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("radial city: %d intersections, %d directed segments\n",
+		len(net.Intersections), len(net.Segments))
+
+	snaps, err := roadpart.SimulateODTraffic(net, roadpart.ODTrafficConfig{
+		Vehicles:    1800,
+		Steps:       500,
+		Hotspots:    3,
+		HotspotBias: 0.7,
+		Seed:        11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap, err := roadpart.AverageDensities(snaps, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := roadpart.ApplyDensities(net, snap); err != nil {
+		log.Fatal(err)
+	}
+
+	p, err := roadpart.NewPipeline(net, roadpart.Config{Scheme: roadpart.ASG, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bestK, _, err := p.BestKByANS(2, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.PartitionK(bestK)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("partitioned into %d regions (ANS=%.4f)\n\n", res.K, res.Report.ANS)
+	fmt.Printf("%8s %10s %14s %16s\n", "region", "segments", "mean density", "mean radius (m)")
+	type agg struct {
+		n      int
+		dens   float64
+		radius float64
+	}
+	stats := make([]agg, res.K)
+	for seg, part := range res.Assign {
+		x, y := net.SegmentMidpoint(seg)
+		stats[part].n++
+		stats[part].dens += net.Segments[seg].Density
+		stats[part].radius += math.Hypot(x, y)
+	}
+	for i, s := range stats {
+		fmt.Printf("%8d %10d %14.4f %16.0f\n",
+			i, s.n, s.dens/float64(s.n), s.radius/float64(s.n))
+	}
+	fmt.Println("\ncongested regions sit at smaller mean radius: commuter flow")
+	fmt.Println("jams the core, and the partitioner separates core from periphery.")
+}

@@ -1,0 +1,67 @@
+// Distributed: the real-time regime the paper proposes in Section 6.4 —
+// partition the whole network once, then re-partition each region
+// independently as congestion evolves, and compare the cost and partition
+// drift against full global re-partitioning.
+//
+// Run with:
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"roadpart"
+	"time"
+)
+
+func main() {
+	net, err := roadpart.GenerateCity(roadpart.CityConfig{
+		TargetIntersections: 500,
+		TargetSegments:      900,
+		Jitter:              0.15,
+		Seed:                55,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	snaps, err := roadpart.SimulateTraffic(net, roadpart.TrafficConfig{
+		Vehicles:    2600,
+		Steps:       1200,
+		RecordEvery: 12,
+		Hotspots:    6,
+		Seed:        4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	at := []int{20, 40, 60, 80, 99}
+	cfg := roadpart.TemporalConfig{Scheme: roadpart.ASG, Seed: 1}
+
+	for _, mode := range []struct {
+		name string
+		m    roadpart.TemporalMode
+	}{
+		{"global re-partitioning", roadpart.ModeGlobal},
+		{"distributed re-partitioning", roadpart.ModeDistributed},
+	} {
+		frames, err := roadpart.Repartition(net, snaps, at, mode.m, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s\n", mode.name)
+		fmt.Printf("%6s %4s %8s %10s %12s\n", "t", "k", "ANS", "ARI", "elapsed")
+		var total time.Duration
+		for _, fr := range frames {
+			fmt.Printf("%6d %4d %8.4f %10.3f %12v\n",
+				fr.Snapshot, fr.K, fr.Report.ANS, fr.ARIvsPrev, fr.Elapsed.Round(time.Millisecond))
+			total += fr.Elapsed
+		}
+		fmt.Printf("total partitioning time: %v\n\n", total.Round(time.Millisecond))
+	}
+
+	fmt.Println("distributed frames re-use the first frame's regions, so later")
+	fmt.Println("rounds are cheaper and drift (1−ARI) stays bounded — the")
+	fmt.Println("trade-off Section 6.4 proposes for real-time deployment.")
+}

@@ -1,0 +1,75 @@
+// Districts: hierarchical congestion partitioning — the whole city splits
+// into top-level regions, each region into districts, districts into
+// corridors, and the tree can be cut at any depth depending on how
+// fine-grained the traffic-management decision is.
+//
+// Run with:
+//
+//	go run ./examples/districts
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roadpart"
+)
+
+func main() {
+	net, err := roadpart.GenerateCity(roadpart.CityConfig{
+		TargetIntersections: 500,
+		TargetSegments:      950,
+		Jitter:              0.15,
+		Seed:                61,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	snaps, err := roadpart.SimulateTraffic(net, roadpart.TrafficConfig{
+		Vehicles: 3200,
+		Hotspots: 6,
+		Seed:     2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := roadpart.ApplyDensities(net, snaps[len(snaps)-1]); err != nil {
+		log.Fatal(err)
+	}
+
+	root, err := roadpart.BuildHierarchy(net, roadpart.HierarchyConfig{
+		Scheme:   roadpart.ASG,
+		MaxDepth: 3,
+		MinSize:  40,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("region tree:", root.Describe())
+
+	g, err := roadpart.DualGraph(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := net.Densities()
+	fmt.Printf("\n%6s %8s %10s\n", "level", "regions", "ANS")
+	for level := 1; level <= 3; level++ {
+		assign, k := root.FlattenLevel(level)
+		rep, err := roadpart.Evaluate(f, assign, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %8d %10.4f\n", level, k, rep.ANS)
+	}
+
+	fmt.Println("\nleaf regions by congestion:")
+	for i, leaf := range root.Leaves() {
+		if i >= 8 {
+			fmt.Printf("  … and %d more\n", len(root.Leaves())-8)
+			break
+		}
+		fmt.Printf("  depth %d: %4d segments, mean density %.4f veh/m\n",
+			leaf.Depth, len(leaf.Members), leaf.MeanDensity)
+	}
+}

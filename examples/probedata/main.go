@@ -1,0 +1,97 @@
+// Probe data: the paper's actual data pipeline, end to end. MNTG gave the
+// authors raw vehicle trajectories; "a self-designed program" mapped the
+// positions onto road segments and computed densities (Section 6.1). Here
+// the simulator emits noisy GPS trajectories, the mapmatch substrate
+// reconstructs per-segment densities from them, and the partition computed
+// from reconstructed densities is compared against the one computed from
+// ground truth.
+//
+// Run with:
+//
+//	go run ./examples/probedata
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"roadpart"
+)
+
+func main() {
+	net, err := roadpart.GenerateCity(roadpart.CityConfig{
+		TargetIntersections: 300,
+		TargetSegments:      540,
+		Jitter:              0.1,
+		Seed:                27,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := roadpart.TrafficConfig{
+		Vehicles:    1600,
+		Steps:       400,
+		RecordEvery: 4, // 100 recorded timestamps, like MNTG
+		Hotspots:    5,
+		Seed:        3,
+	}
+
+	// Ground truth densities straight from the simulator.
+	truthSnaps, err := roadpart.SimulateTraffic(net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The same simulation, but observed only through 8 m-noise GPS
+	// trajectories.
+	trajs, err := roadpart.SimulateTrajectories(net, cfg, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet: %d probe vehicles, %d samples each\n", len(trajs), len(trajs[0]))
+
+	// Map-match the trajectories back onto segments and rebuild the
+	// density field.
+	maxT := len(truthSnaps) - 1
+	recSnaps, err := roadpart.MatchDensities(net, trajs, maxT, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare the two density fields at the evaluation instant.
+	at := maxT * 71 / 100 // the paper's t=71-style snapshot
+	truth, rec := truthSnaps[at], recSnaps[at]
+	var num, denTruth float64
+	for i := range truth {
+		d := truth[i] - rec[i]
+		num += d * d
+		denTruth += truth[i] * truth[i]
+	}
+	fmt.Printf("density reconstruction relative RMS error: %.1f%%\n",
+		100*math.Sqrt(num/denTruth))
+
+	// Partition both and compare the regions.
+	partition := func(name string, snap roadpart.Snapshot) []int {
+		if err := roadpart.ApplyDensities(net, snap); err != nil {
+			log.Fatal(err)
+		}
+		res, err := roadpart.Partition(net, roadpart.Config{K: 5, Scheme: roadpart.ASG, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s ANS=%.4f inter=%.4f intra=%.4f\n",
+			name, res.Report.ANS, res.Report.Inter, res.Report.Intra)
+		return res.Assign
+	}
+	truthAssign := partition("ground-truth density:", truth)
+	recAssign := partition("map-matched density:", rec)
+
+	ari, err := roadpart.PartitionSimilarity(truthAssign, recAssign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nregion agreement (ARI): %.3f — noisy probe data recovers\n", ari)
+	fmt.Println("nearly the same congestion regions as perfect detectors.")
+}

@@ -1,0 +1,106 @@
+// Rush hour: Section 2.1's motivation for modelling the two directions of
+// a two-way road as separate segments — morning traffic flows toward the
+// centre, evening traffic away from it, so the same physical road can be
+// jammed in one direction and free in the other, and the optimal
+// congestion regions differ between the peaks.
+//
+// Run with:
+//
+//	go run ./examples/rushhour
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"roadpart"
+)
+
+func main() {
+	// A city where every road is two-way: segment pairs (i, j) with
+	// i.From == j.To and i.To == j.From are the two directions.
+	net, err := roadpart.GenerateCity(roadpart.CityConfig{
+		TargetIntersections: 250,
+		TargetSegments:      900, // ≈ all roads two-way
+		Jitter:              0.1,
+		Seed:                19,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	simulate := func(outbound bool) roadpart.Snapshot {
+		snaps, err := roadpart.SimulateTraffic(net, roadpart.TrafficConfig{
+			Vehicles:   2200,
+			Hotspots:   3,
+			WanderFrac: 0.25,
+			Outbound:   outbound,
+			Seed:       6, // same fleet, opposite intent
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap, err := roadpart.AverageDensities(snaps, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return snap
+	}
+	morning := simulate(false) // toward the hotspots
+	evening := simulate(true)  // away from them
+
+	// Directional asymmetry: compare the two directions of each two-way
+	// road within one peak.
+	type key struct{ a, b int }
+	reverse := map[key]int{}
+	for i, s := range net.Segments {
+		reverse[key{s.From, s.To}] = i
+	}
+	var pairs, asymMorning float64
+	for i, s := range net.Segments {
+		j, ok := reverse[key{s.To, s.From}]
+		if !ok || j <= i {
+			continue
+		}
+		pairs++
+		asymMorning += math.Abs(morning[i] - morning[j])
+	}
+	fmt.Printf("two-way road pairs: %.0f\n", pairs)
+	fmt.Printf("mean |density(dir1) - density(dir2)| in the morning peak: %.4f veh/m\n", asymMorning/pairs)
+
+	// Partition each peak and compare the regions.
+	partition := func(name string, snap roadpart.Snapshot) []int {
+		if err := roadpart.ApplyDensities(net, snap); err != nil {
+			log.Fatal(err)
+		}
+		p, err := roadpart.NewPipeline(net, roadpart.Config{Scheme: roadpart.ASG, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		kmax := 8
+		if len(p.SG.Nodes) < kmax {
+			kmax = len(p.SG.Nodes)
+		}
+		bestK, _, err := p.BestKByANS(2, kmax)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := p.PartitionK(bestK)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s peak: k=%d ANS=%.4f\n", name, res.K, res.Report.ANS)
+		return res.Assign
+	}
+	am := partition("morning", morning)
+	pm := partition("evening", evening)
+
+	ari, err := roadpart.PartitionSimilarity(am, pm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmorning vs evening region agreement (ARI): %.3f\n", ari)
+	fmt.Println("the peaks need different partitions — the repeated-partitioning")
+	fmt.Println("regime the paper proposes, driven by directional traffic.")
+}

@@ -1,0 +1,75 @@
+// Visualize: render a congested city and its congestion-based partitions
+// as SVG files you can open in any browser — the visual counterpart of
+// the paper's partition maps.
+//
+// Run with:
+//
+//	go run ./examples/visualize
+//
+// It writes density.svg and partitions.svg in the working directory.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"roadpart"
+)
+
+func main() {
+	net, err := roadpart.GenerateCity(roadpart.CityConfig{
+		TargetIntersections: 600,
+		TargetSegments:      1100,
+		Jitter:              0.2,
+		Seed:                77,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	snaps, err := roadpart.SimulateTraffic(net, roadpart.TrafficConfig{Vehicles: 3000, Hotspots: 5, Seed: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := roadpart.ApplyDensities(net, snaps[len(snaps)-1]); err != nil {
+		log.Fatal(err)
+	}
+
+	p, err := roadpart.NewPipeline(net, roadpart.Config{Scheme: roadpart.ASG, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bestK, _, err := p.BestKByANS(2, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.PartitionK(bestK)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	write := func(path string, draw func(w *bufio.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		if err := draw(w); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+	write("density.svg", func(w *bufio.Writer) error {
+		return roadpart.RenderDensitiesSVG(w, net, "traffic density (red = congested)")
+	})
+	write("partitions.svg", func(w *bufio.Writer) error {
+		return roadpart.RenderPartitionsSVG(w, net, res.Assign,
+			fmt.Sprintf("congestion partitions (k=%d, ANS=%.3f)", res.K, res.Report.ANS))
+	})
+}

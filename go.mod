@@ -1,0 +1,3 @@
+module roadpart
+
+go 1.22

@@ -1,0 +1,361 @@
+// Package core assembles the paper's complete spatial partitioning
+// framework (Figure 2): road graph construction (module 1), road
+// supergraph mining (module 2) and supergraph partitioning by α-Cut or
+// normalized cut (module 3), with the per-module timing breakdown the
+// paper reports in Table 3.
+//
+// The four evaluation schemes of Section 6.3 are exposed directly:
+//
+//	AG  — α-Cut directly on the road graph
+//	NG  — normalized cut directly on the road graph (the baseline)
+//	ASG — α-Cut on the supergraph
+//	NSG — normalized cut on the supergraph
+//
+// A Pipeline separates the k-independent stages (modules 1–2) from the
+// k-dependent partitioning so that sweeps over k — how the paper selects
+// the optimal partition count via the ANS minimum — do not repeat the
+// mining work.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"roadpart/internal/cut"
+	"roadpart/internal/graph"
+	"roadpart/internal/metrics"
+	"roadpart/internal/roadnet"
+	"roadpart/internal/supergraph"
+)
+
+// Scheme selects the partitioning configuration of Section 6.3.
+type Scheme int
+
+const (
+	// AG applies α-Cut directly on the road graph.
+	AG Scheme = iota
+	// NG applies normalized cut directly on the road graph.
+	NG
+	// ASG applies α-Cut on the mined road supergraph.
+	ASG
+	// NSG applies normalized cut on the mined road supergraph.
+	NSG
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case AG:
+		return "AG"
+	case NG:
+		return "NG"
+	case ASG:
+		return "ASG"
+	case NSG:
+		return "NSG"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// usesSupergraph reports whether the scheme runs module 2.
+func (s Scheme) usesSupergraph() bool { return s == ASG || s == NSG }
+
+// method maps the scheme to its spectral cut.
+func (s Scheme) method() cut.Method {
+	if s == AG || s == ASG {
+		return cut.MethodAlphaCut
+	}
+	return cut.MethodNCut
+}
+
+// Config parameterizes the framework.
+type Config struct {
+	// K is the desired number of partitions.
+	K int
+	// Scheme selects the cut and whether the supergraph level runs.
+	Scheme Scheme
+	// StabilityEps is the supernode stability threshold ε_η in [0,1];
+	// 0 skips Algorithm 2 (the paper's plain ASG/NSG).
+	StabilityEps float64
+	// EpsTheta is the absolute MCG shortlisting threshold ε_θ; 0 uses
+	// EpsThetaFrac of the sweep maximum instead.
+	EpsTheta float64
+	// EpsThetaFrac is the relative MCG threshold; 0 selects 0.8.
+	EpsThetaFrac float64
+	// KappaMax bounds the κ-sweep; 0 selects 25.
+	KappaMax int
+	// SampleSize caps the κ-sweep sample; 0 selects 2000.
+	SampleSize int
+	// Restarts is the k-means best-of-n on the spectral embedding;
+	// 0 selects 5.
+	Restarts int
+	// DenseCutoff switches the eigensolver from dense to Lanczos; 0
+	// selects 900.
+	DenseCutoff int
+	// Weighting selects the superlink weight formula (Eq. 3 by default).
+	Weighting supergraph.WeightMode
+	// Refine applies α-Cut boundary refinement (cut.RefineAlphaCut) to
+	// the final road-segment partition — an optional post-processing
+	// extension analogous to Ji & Geroliminis's adjustment step.
+	Refine bool
+	// Seed drives all randomized stages.
+	Seed uint64
+}
+
+// Timing is the per-module wall-clock breakdown of Table 3.
+type Timing struct {
+	Module1 time.Duration // road graph construction
+	Module2 time.Duration // supergraph mining (zero for AG/NG)
+	Module3 time.Duration // spectral partitioning
+	Total   time.Duration
+}
+
+// Result is one partitioning outcome.
+type Result struct {
+	// Assign is the partition id per road segment, dense in [0, K).
+	Assign []int
+	// K is the achieved partition count.
+	K int
+	// KPrime is the disjoint partition count before the k′→k reduction.
+	KPrime int
+	// Timing is the module breakdown.
+	Timing Timing
+	// Report carries the four evaluation measures for this result.
+	Report metrics.Report
+}
+
+// Pipeline holds the k-independent state: the road graph (module 1) and,
+// for supergraph schemes, the mined supergraph (module 2).
+type Pipeline struct {
+	cfg Config
+	// G is the dual road graph (unit adjacency weights).
+	G *graph.Graph
+	// F is the per-segment density vector.
+	F []float64
+	// SG is the mined supergraph, nil for direct schemes.
+	SG *supergraph.Supergraph
+	// simG is the congestion-affinity road graph used by the direct
+	// schemes: Definition 3 requires cut affinities to measure congestion
+	// similarity, so adjacency edges carry the Gaussian similarity of
+	// their endpoint densities (the same kernel Equation 3 applies to
+	// supernode features).
+	simG *graph.Graph
+	// spec caches the spectral decomposition of the module-3 graph so a
+	// sweep over k (the ANS-minimum selection) pays for the eigenproblem
+	// once.
+	spec *cut.Spectral
+
+	m1, m2 time.Duration
+}
+
+// SimilarityWeighted reweights every edge of g with the Gaussian density
+// similarity exp(−(f_u−f_v)²/(2σ²)) of its endpoints. The bandwidth σ² is
+// the mean squared density difference across edges — the local scale —
+// rather than the global feature variance: adjacent segments differ far
+// less than arbitrary segment pairs, and a global bandwidth would map
+// every edge weight to ≈1, making the cut blind to congestion. A graph
+// whose adjacent features never differ yields unit weights.
+func SimilarityWeighted(g *graph.Graph, f []float64) *graph.Graph {
+	var sigma2 float64
+	var m int
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Neighbors(u) {
+			if e.To > u {
+				d := f[u] - f[e.To]
+				sigma2 += d * d
+				m++
+			}
+		}
+	}
+	if m > 0 {
+		sigma2 /= float64(m)
+	}
+	if sigma2 == 0 {
+		return g.Reweighted(func(u, v int, w float64) float64 { return 1 })
+	}
+	return g.Reweighted(func(u, v int, w float64) float64 {
+		d := f[u] - f[v]
+		return math.Exp(-d * d / (2 * sigma2))
+	})
+}
+
+// NewPipeline runs modules 1 and 2 for the network under cfg.
+func NewPipeline(net *roadnet.Network, cfg Config) (*Pipeline, error) {
+	t0 := time.Now()
+	g, err := roadnet.DualGraph(net)
+	if err != nil {
+		return nil, err
+	}
+	f := net.Densities()
+	m1 := time.Since(t0)
+	return newPipelineFromGraph(g, f, cfg, m1)
+}
+
+// NewPipelineFromGraph builds a pipeline directly from a road graph and
+// its feature vector, for callers that construct graphs themselves.
+func NewPipelineFromGraph(g *graph.Graph, f []float64, cfg Config) (*Pipeline, error) {
+	return newPipelineFromGraph(g, f, cfg, 0)
+}
+
+func newPipelineFromGraph(g *graph.Graph, f []float64, cfg Config, m1 time.Duration) (*Pipeline, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("core: empty road graph")
+	}
+	if len(f) != g.N() {
+		return nil, fmt.Errorf("core: %d features for %d nodes", len(f), g.N())
+	}
+	p := &Pipeline{cfg: cfg, G: g, F: f, m1: m1}
+	if !cfg.Scheme.usesSupergraph() {
+		p.simG = SimilarityWeighted(g, f)
+	}
+	if cfg.Scheme.usesSupergraph() {
+		t0 := time.Now()
+		sg, err := supergraph.Mine(g, f, supergraph.MineOptions{
+			EpsTheta:     cfg.EpsTheta,
+			EpsThetaFrac: cfg.EpsThetaFrac,
+			KappaMax:     cfg.KappaMax,
+			SampleSize:   cfg.SampleSize,
+			StabilityEps: cfg.StabilityEps,
+			Weighting:    cfg.Weighting,
+			Seed:         cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.SG = sg
+		p.m2 = time.Since(t0)
+	}
+	opts := cut.Options{Seed: cfg.Seed, Restarts: cfg.Restarts, DenseCutoff: cfg.DenseCutoff}
+	if p.SG != nil {
+		p.spec = cut.NewSpectral(p.SG.Links, cfg.Scheme.method(), opts)
+	} else {
+		p.spec = cut.NewSpectral(p.simG, cfg.Scheme.method(), opts)
+	}
+	return p, nil
+}
+
+// PartitionK runs module 3 for the given k and evaluates the result.
+func (p *Pipeline) PartitionK(k int) (*Result, error) {
+	t0 := time.Now()
+	var assign []int
+	var kPrime int
+	if p.SG != nil {
+		if k > len(p.SG.Nodes) {
+			return nil, fmt.Errorf("core: k=%d exceeds %d supernodes", k, len(p.SG.Nodes))
+		}
+		res, err := p.spec.Partition(k)
+		if err != nil {
+			return nil, err
+		}
+		kPrime = res.KPrime
+		assign, err = p.SG.ExpandAssign(res.Assign)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		res, err := p.spec.Partition(k)
+		if err != nil {
+			return nil, err
+		}
+		assign, kPrime = res.Assign, res.KPrime
+	}
+	// Final C.2 enforcement (recursive bipartitioning can, rarely, leave a
+	// merged group disconnected).
+	assign, kk, err := cut.RepairConnectivity(p.G, p.F, assign, k)
+	if err != nil {
+		return nil, err
+	}
+	if p.cfg.Refine {
+		// Refinement optimizes congestion affinities, so it runs on the
+		// similarity-weighted road graph (built lazily for supergraph
+		// schemes, which otherwise never need it).
+		simG := p.simG
+		if simG == nil {
+			simG = SimilarityWeighted(p.G, p.F)
+		}
+		assign, kk, _, err = cut.RefineAlphaCut(simG, p.F, assign, cut.RefineOptions{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	m3 := time.Since(t0)
+
+	rep, err := metrics.Evaluate(p.F, assign, p.G)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Assign: assign,
+		K:      kk,
+		KPrime: kPrime,
+		Timing: Timing{Module1: p.m1, Module2: p.m2, Module3: m3, Total: p.m1 + p.m2 + m3},
+		Report: rep,
+	}, nil
+}
+
+// Partition runs the full framework once: modules 1–3 for cfg.K.
+func Partition(net *roadnet.Network, cfg Config) (*Result, error) {
+	p, err := NewPipeline(net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.PartitionK(cfg.K)
+}
+
+// SweepPoint is one k of a sweep.
+type SweepPoint struct {
+	K      int
+	Result *Result
+}
+
+// MaxK returns the largest k the pipeline can produce: the supernode
+// count for supergraph schemes, the road-graph order otherwise.
+func (p *Pipeline) MaxK() int {
+	if p.SG != nil {
+		return len(p.SG.Nodes)
+	}
+	return p.G.N()
+}
+
+// SweepK partitions for every k in [kMin, kMax], reusing modules 1–2.
+// kMax is clamped to MaxK(), so callers can pass an ambitious upper bound
+// without knowing how condensed the mined supergraph came out.
+func (p *Pipeline) SweepK(kMin, kMax int) ([]SweepPoint, error) {
+	if kMin < 1 || kMax < kMin {
+		return nil, fmt.Errorf("core: bad sweep range [%d,%d]", kMin, kMax)
+	}
+	if max := p.MaxK(); kMax > max {
+		kMax = max
+	}
+	if kMax < kMin {
+		return nil, fmt.Errorf("core: pipeline supports at most k=%d, below the requested minimum %d", p.MaxK(), kMin)
+	}
+	var out []SweepPoint
+	for k := kMin; k <= kMax; k++ {
+		res, err := p.PartitionK(k)
+		if err != nil {
+			return nil, fmt.Errorf("core: k=%d: %w", k, err)
+		}
+		out = append(out, SweepPoint{K: k, Result: res})
+	}
+	return out, nil
+}
+
+// BestKByANS sweeps k and returns the k with the minimum ANS — the
+// paper's rule for selecting the optimal number of partitions — along
+// with the full sweep.
+func (p *Pipeline) BestKByANS(kMin, kMax int) (int, []SweepPoint, error) {
+	sweep, err := p.SweepK(kMin, kMax)
+	if err != nil {
+		return 0, nil, err
+	}
+	best := sweep[0]
+	for _, pt := range sweep[1:] {
+		if pt.Result.Report.ANS < best.Result.Report.ANS {
+			best = pt
+		}
+	}
+	return best.K, sweep, nil
+}

@@ -1,0 +1,65 @@
+package cut
+
+import (
+	"fmt"
+	"math"
+
+	"roadpart/internal/eigen"
+	"roadpart/internal/linalg"
+)
+
+// NCutOp is the symmetric normalized Laplacian
+// L_sym = I − D^{−1/2} A D^{−1/2}, whose k smallest eigenvectors yield the
+// relaxed normalized-cut indicator vectors (Shi–Malik / NJW). Isolated
+// nodes (zero degree) get an identity row, so they surface as their own
+// trivial components.
+type NCutOp struct {
+	A       *linalg.CSR
+	invSqrt []float64 // D^{-1/2}, 0 for isolated nodes
+}
+
+// NewNCutOp wraps the symmetric weighted adjacency matrix adj.
+func NewNCutOp(adj *linalg.CSR) (*NCutOp, error) {
+	if adj.Rows() != adj.Cols() {
+		return nil, fmt.Errorf("cut: adjacency must be square, got %dx%d", adj.Rows(), adj.Cols())
+	}
+	d := adj.RowSums()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v > 0 {
+			inv[i] = 1 / math.Sqrt(v)
+		}
+	}
+	return &NCutOp{A: adj, invSqrt: inv}, nil
+}
+
+// Dim returns the operator order.
+func (op *NCutOp) Dim() int { return op.A.Rows() }
+
+// Apply computes dst = x − D^{−1/2} A D^{−1/2} x.
+func (op *NCutOp) Apply(dst, x []float64) {
+	n := op.Dim()
+	tmp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tmp[i] = op.invSqrt[i] * x[i]
+	}
+	op.A.MulVec(dst, tmp)
+	for i := 0; i < n; i++ {
+		dst[i] = x[i] - op.invSqrt[i]*dst[i]
+	}
+}
+
+// Dense materializes L_sym for the dense eigensolver path.
+func (op *NCutOp) Dense() *linalg.Dense {
+	n := op.Dim()
+	m := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+		op.A.Range(i, func(j int, v float64) {
+			m.Add(i, j, -op.invSqrt[i]*op.invSqrt[j]*v)
+		})
+	}
+	return m
+}
+
+var _ eigen.Op = (*NCutOp)(nil)

@@ -1,0 +1,152 @@
+package cut
+
+import (
+	"fmt"
+	"sync"
+
+	"roadpart/internal/eigen"
+	"roadpart/internal/graph"
+	"roadpart/internal/kmeans"
+	"roadpart/internal/linalg"
+)
+
+// Spectral partitions one fixed graph for many values of k, caching the
+// eigendecomposition across calls. The paper's protocol sweeps k (2–20 or
+// 2–25) to find the ANS minimum; recomputing the eigenproblem per k would
+// dominate that sweep, while the decomposition only depends on the graph
+// and the method.
+//
+// A Spectral is safe for concurrent use.
+type Spectral struct {
+	g      *graph.Graph
+	method Method
+	opts   Options
+
+	mu  sync.Mutex
+	dec *eigen.Decomposition // nil until first use; len(Values) grows as needed
+}
+
+// NewSpectral prepares a cached spectral partitioner for g. Options are
+// normalized the same way Partition normalizes them.
+func NewSpectral(g *graph.Graph, method Method, opts Options) *Spectral {
+	if opts.Restarts == 0 {
+		opts.Restarts = 5
+	}
+	if opts.DenseCutoff == 0 {
+		opts.DenseCutoff = 900
+	}
+	return &Spectral{g: g, method: method, opts: opts}
+}
+
+// Partition splits the graph into k partitions, reusing the cached
+// decomposition when it already has at least k eigenpairs.
+func (s *Spectral) Partition(k int) (*Result, error) {
+	n := s.g.N()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cut: k=%d out of range [1,%d]", k, n)
+	}
+	if k == 1 {
+		return &Result{Assign: make([]int, n), K: 1, KPrime: 1}, nil
+	}
+	rows, err := s.rows(k)
+	if err != nil {
+		return nil, err
+	}
+	km, err := kmeans.ND(rows, k, kmeans.NDOptions{Seed: s.opts.Seed, Restarts: s.opts.Restarts})
+	if err != nil {
+		return nil, err
+	}
+	labels, kPrime := s.g.GroupComponents(km.Assign)
+	res := &Result{KPrime: kPrime}
+	switch {
+	case kPrime > k && !s.opts.AcceptKPrime:
+		labels, err = reduce(s.g, labels, kPrime, k, s.method, s.opts)
+		if err != nil {
+			return nil, err
+		}
+	case kPrime < k:
+		labels, err = grow(s.g, labels, kPrime, k, s.method, s.opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Assign, res.K = renumber(labels)
+	return res, nil
+}
+
+// rows returns the row-normalized k-column spectral embedding, extending
+// the cached decomposition when it is too narrow.
+func (s *Spectral) rows(k int) ([][]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dec == nil || len(s.dec.Values) < k {
+		want := k
+		if s.g.N() > s.opts.DenseCutoff {
+			// Lanczos path: grab headroom so a k-sweep triggers only a
+			// few recomputations (dense path returns everything anyway).
+			want = 2 * k
+			if want > s.g.N() {
+				want = s.g.N()
+			}
+		}
+		dec, err := decompose(s.g, want, s.method, s.opts)
+		if err != nil {
+			return nil, err
+		}
+		s.dec = dec
+	}
+	cols := len(s.dec.Values)
+	n := s.g.N()
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		r := make([]float64, k)
+		copy(r, s.dec.Vectors[i*cols:i*cols+k])
+		linalg.Normalize(r)
+		rows[i] = r
+	}
+	return rows, nil
+}
+
+// decompose computes the k smallest eigenpairs of the method's matrix.
+func decompose(g *graph.Graph, k int, method Method, opts Options) (*eigen.Decomposition, error) {
+	adj, err := g.AdjacencyCSR()
+	if err != nil {
+		return nil, err
+	}
+	var op eigen.Op
+	var dense *linalg.Dense
+	switch method {
+	case MethodNCut:
+		o, err := NewNCutOp(adj)
+		if err != nil {
+			return nil, err
+		}
+		op = o
+		if g.N() <= opts.DenseCutoff {
+			dense = o.Dense()
+		}
+	case MethodScalarAlpha:
+		alpha := opts.Alpha
+		if alpha == 0 {
+			alpha = 0.5
+		}
+		o, err := NewScalarAlphaOp(adj, alpha)
+		if err != nil {
+			return nil, err
+		}
+		op = o
+		if g.N() <= opts.DenseCutoff {
+			dense = o.Dense()
+		}
+	default:
+		o, err := NewAlphaCutOp(adj)
+		if err != nil {
+			return nil, err
+		}
+		op = o
+		if g.N() <= opts.DenseCutoff {
+			dense = o.Dense()
+		}
+	}
+	return eigen.SmallestK(op, dense, k, opts.Seed)
+}

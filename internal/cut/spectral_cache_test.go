@@ -1,0 +1,70 @@
+package cut
+
+import (
+	"testing"
+)
+
+func TestSpectralMatchesPartition(t *testing.T) {
+	g := barbell(6, 1, 0.05)
+	s := NewSpectral(g, MethodAlphaCut, Options{Seed: 1})
+	for _, k := range []int{2, 3, 4} {
+		cached, err := s.Partition(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := Partition(g, k, MethodAlphaCut, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached.K != direct.K {
+			t.Fatalf("k=%d: cached K=%d vs direct K=%d", k, cached.K, direct.K)
+		}
+		for i := range cached.Assign {
+			if cached.Assign[i] != direct.Assign[i] {
+				t.Fatalf("k=%d: cached and direct assignments differ at node %d", k, i)
+			}
+		}
+	}
+}
+
+func TestSpectralCacheReuse(t *testing.T) {
+	// After a k=4 call the decomposition is wide enough for k=2..4; the
+	// cached object must stay internally consistent when asked downward.
+	g := barbell(6, 1, 0.05)
+	s := NewSpectral(g, MethodNCut, Options{Seed: 2})
+	if _, err := s.Partition(4); err != nil {
+		t.Fatal(err)
+	}
+	width := len(s.dec.Values)
+	if width < 4 {
+		t.Fatalf("cache width %d after k=4", width)
+	}
+	res, err := s.Partition(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.dec.Values) != width {
+		t.Fatal("downward k should not recompute the decomposition")
+	}
+	if res.K != 2 {
+		t.Fatalf("K = %d, want 2", res.K)
+	}
+	if res.Assign[0] == res.Assign[11] {
+		t.Fatal("cached ncut failed to separate the cliques")
+	}
+}
+
+func TestSpectralErrors(t *testing.T) {
+	g := barbell(3, 1, 1)
+	s := NewSpectral(g, MethodAlphaCut, Options{})
+	if _, err := s.Partition(0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := s.Partition(g.N() + 1); err == nil {
+		t.Fatal("k>n should error")
+	}
+	one, err := s.Partition(1)
+	if err != nil || one.K != 1 {
+		t.Fatalf("k=1: %v %v", one, err)
+	}
+}

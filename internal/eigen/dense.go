@@ -1,0 +1,169 @@
+package eigen
+
+import (
+	"fmt"
+	"math"
+
+	"roadpart/internal/linalg"
+)
+
+// Decomposition holds the result of a symmetric eigendecomposition:
+// Values[j] is the j-th smallest eigenvalue and the j-th column of Vectors
+// is its (unit-norm) eigenvector. Vectors is row-major n×len(Values).
+type Decomposition struct {
+	N       int
+	Values  []float64
+	Vectors []float64
+}
+
+// Vector returns the eigenvector for Values[j] as a freshly allocated slice.
+func (d *Decomposition) Vector(j int) []float64 {
+	if j < 0 || j >= len(d.Values) {
+		panic(fmt.Sprintf("eigen: vector index %d out of range %d", j, len(d.Values)))
+	}
+	v := make([]float64, d.N)
+	cols := len(d.Values)
+	for i := 0; i < d.N; i++ {
+		v[i] = d.Vectors[i*cols+j]
+	}
+	return v
+}
+
+// SymEigen computes the full eigendecomposition of the symmetric matrix a.
+// The matrix is not modified. Eigenvalues are returned in ascending order
+// with orthonormal eigenvectors in the corresponding columns.
+//
+// SymEigen does not verify symmetry; only the full matrix is read and the
+// result is meaningful only for (numerically) symmetric input. Use
+// (*linalg.Dense).IsSymmetric to check beforehand when in doubt.
+func SymEigen(a *linalg.Dense) (*Decomposition, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("eigen: SymEigen requires a square matrix, got %dx%d", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		copy(v[i*n:(i+1)*n], a.Row(i))
+	}
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(v, d, e, n)
+	if err := SymTridEigen(d, e, v, n); err != nil {
+		return nil, err
+	}
+	return &Decomposition{N: n, Values: d, Vectors: v}, nil
+}
+
+// tred2 reduces the symmetric matrix stored row-major in v (n×n) to
+// tridiagonal form by orthogonal Householder similarity transformations.
+// On exit d holds the diagonal, e[0..n-2] the sub-diagonal (e[i] couples
+// rows i and i+1), and v the accumulated orthogonal transformation.
+//
+// The implementation follows the EISPACK/JAMA tred2 routine (which stores
+// the coupling of rows i-1,i in e[i]); the final loop converts to this
+// package's e[i]-couples-(i,i+1) convention.
+func tred2(v, d, e []float64, n int) {
+	for j := 0; j < n; j++ {
+		d[j] = v[(n-1)*n+j]
+	}
+
+	// Householder reduction to tridiagonal form.
+	for i := n - 1; i > 0; i-- {
+		// Scale to avoid under/overflow.
+		var scale, h float64
+		for k := 0; k < i; k++ {
+			scale += math.Abs(d[k])
+		}
+		if scale == 0 {
+			e[i] = d[i-1]
+			for j := 0; j < i; j++ {
+				d[j] = v[(i-1)*n+j]
+				v[i*n+j] = 0
+				v[j*n+i] = 0
+			}
+		} else {
+			// Generate the Householder vector.
+			for k := 0; k < i; k++ {
+				d[k] /= scale
+				h += d[k] * d[k]
+			}
+			f := d[i-1]
+			g := math.Sqrt(h)
+			if f > 0 {
+				g = -g
+			}
+			e[i] = scale * g
+			h -= f * g
+			d[i-1] = f - g
+			for j := 0; j < i; j++ {
+				e[j] = 0
+			}
+
+			// Apply similarity transformation to remaining columns.
+			for j := 0; j < i; j++ {
+				f = d[j]
+				v[j*n+i] = f
+				g = e[j] + v[j*n+j]*f
+				for k := j + 1; k <= i-1; k++ {
+					g += v[k*n+j] * d[k]
+					e[k] += v[k*n+j] * f
+				}
+				e[j] = g
+			}
+			f = 0
+			for j := 0; j < i; j++ {
+				e[j] /= h
+				f += e[j] * d[j]
+			}
+			hh := f / (h + h)
+			for j := 0; j < i; j++ {
+				e[j] -= hh * d[j]
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				g = e[j]
+				for k := j; k <= i-1; k++ {
+					v[k*n+j] -= f*e[k] + g*d[k]
+				}
+				d[j] = v[(i-1)*n+j]
+				v[i*n+j] = 0
+			}
+		}
+		d[i] = h
+	}
+
+	// Accumulate transformations.
+	for i := 0; i < n-1; i++ {
+		v[(n-1)*n+i] = v[i*n+i]
+		v[i*n+i] = 1
+		h := d[i+1]
+		if h != 0 {
+			for k := 0; k <= i; k++ {
+				d[k] = v[k*n+i+1] / h
+			}
+			for j := 0; j <= i; j++ {
+				var g float64
+				for k := 0; k <= i; k++ {
+					g += v[k*n+i+1] * v[k*n+j]
+				}
+				for k := 0; k <= i; k++ {
+					v[k*n+j] -= g * d[k]
+				}
+			}
+		}
+		for k := 0; k <= i; k++ {
+			v[k*n+i+1] = 0
+		}
+	}
+	for j := 0; j < n; j++ {
+		d[j] = v[(n-1)*n+j]
+		v[(n-1)*n+j] = 0
+	}
+	v[(n-1)*n+n-1] = 1
+
+	// Convert e to the e[i]-couples-(i,i+1) convention used by SymTridEigen.
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The WriteCSV methods emit plot-ready series for each figure, so the
+// paper's plots can be regenerated with any charting tool from the
+// harness output.
+
+// WriteCSV emits the Figure 4 panels as long-form rows:
+// metric,scheme,k,value.
+func (d *Fig4Data) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"metric", "scheme", "k", "value"}); err != nil {
+		return err
+	}
+	panels := []struct {
+		name string
+		pick func(*Curve) []float64
+	}{
+		{"inter", func(c *Curve) []float64 { return c.Inter }},
+		{"intra", func(c *Curve) []float64 { return c.Intra }},
+		{"gdbi", func(c *Curve) []float64 { return c.GDBI }},
+		{"ans", func(c *Curve) []float64 { return c.ANS }},
+	}
+	for _, p := range panels {
+		for _, c := range d.Curves {
+			vals := p.pick(c)
+			for i, k := range c.K {
+				rec := []string{p.name, c.Scheme, strconv.Itoa(k), fmtF(vals[i])}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 5 series: dataset,kappa,mcg,supernodes.
+func (d *Fig5Data) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "kappa", "mcg", "supernodes"}); err != nil {
+		return err
+	}
+	for _, s := range d.Series {
+		for i, kappa := range s.Kappa {
+			rec := []string{s.Dataset, strconv.Itoa(kappa), fmtF(s.MCG[i]), strconv.Itoa(s.Supernodes[i])}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 6 stability profiles: dataset,rank,stability.
+func (d *Fig6Data) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "rank", "stability"}); err != nil {
+		return err
+	}
+	for _, s := range d.Series {
+		for i, eta := range s.Stability {
+			if err := cw.Write([]string{s.Dataset, strconv.Itoa(i), fmtF(eta)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 7 panels: dataset,metric,k,value.
+func (d *Fig7Data) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "metric", "k", "value"}); err != nil {
+		return err
+	}
+	for _, s := range d.Series {
+		c := s.Curve
+		for i, k := range c.K {
+			for _, p := range []struct {
+				name string
+				v    float64
+			}{
+				{"inter", c.Inter[i]}, {"intra", c.Intra[i]}, {"gdbi", c.GDBI[i]}, {"ans", c.ANS[i]},
+			} {
+				if err := cw.Write([]string{s.Dataset, p.name, strconv.Itoa(k), fmtF(p.v)}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%.6g", v) }

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"roadpart/internal/core"
+)
+
+// Table1Row is one dataset's statistics.
+type Table1Row struct {
+	Dataset       string
+	Intersections int
+	Segments      int
+	MeanDensity   float64
+	MaxDensity    float64
+}
+
+// Table1Data is the dataset-statistics table.
+type Table1Data struct {
+	Rows []Table1Row
+}
+
+// Table1 reproduces Table 1: the statistics of the four datasets as
+// actually generated (at ScaleFull the intersection and segment counts
+// equal the paper's exactly).
+func Table1(opts Options) (*Table1Data, error) {
+	var out Table1Data
+	for _, name := range DatasetNames() {
+		ds, err := BuildDataset(name, opts.Scale)
+		if err != nil {
+			return nil, err
+		}
+		st := ds.Net.Stats()
+		out.Rows = append(out.Rows, Table1Row{
+			Dataset:       name,
+			Intersections: st.Intersections,
+			Segments:      st.Segments,
+			MeanDensity:   st.MeanDensity,
+			MaxDensity:    st.MaxDensity,
+		})
+	}
+	return &out, nil
+}
+
+// Render prints the table.
+func (d *Table1Data) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Dataset statistics")
+	fmt.Fprintf(w, "%-8s %14s %10s %14s %14s\n", "Dataset", "Intersections", "Segments", "MeanDensity", "MaxDensity")
+	for _, r := range d.Rows {
+		fmt.Fprintf(w, "%-8s %14d %10d %14.5f %14.5f\n", r.Dataset, r.Intersections, r.Segments, r.MeanDensity, r.MaxDensity)
+	}
+}
+
+// Table3Row is the per-module running time of the framework on one
+// dataset.
+type Table3Row struct {
+	Dataset string
+	Module1 time.Duration
+	Module2 time.Duration
+	Module3 time.Duration
+	Total   time.Duration
+}
+
+// Table3Data is the running-time table.
+type Table3Data struct {
+	Rows []Table3Row
+	K    int
+}
+
+// Table3 reproduces Table 3: wall-clock time of each framework module on
+// every dataset, running the scalable ASG configuration at a fixed k.
+//
+// Paper shape: module 1 (graph construction) is cheapest, module 3
+// (eigen-decomposition and spectral clustering) dominates, and total time
+// grows superlinearly with network size.
+func Table3(opts Options, k int) (*Table3Data, error) {
+	if k == 0 {
+		k = 5
+	}
+	out := Table3Data{K: k}
+	for _, name := range DatasetNames() {
+		ds, err := BuildDataset(name, opts.Scale)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Partition(ds.Net, core.Config{K: k, Scheme: core.ASG, Seed: 1})
+		if err != nil {
+			return nil, fmt.Errorf("table 3 (%s): %w", name, err)
+		}
+		out.Rows = append(out.Rows, Table3Row{
+			Dataset: name,
+			Module1: res.Timing.Module1,
+			Module2: res.Timing.Module2,
+			Module3: res.Timing.Module3,
+			Total:   res.Timing.Total,
+		})
+	}
+	return &out, nil
+}
+
+// Render prints the table.
+func (d *Table3Data) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 3: Running time per module (ASG, k=%d)\n", d.K)
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %12s\n", "Dataset", "Module1", "Module2", "Module3", "Total")
+	for _, r := range d.Rows {
+		fmt.Fprintf(w, "%-8s %12s %12s %12s %12s\n",
+			r.Dataset, r.Module1.Round(time.Millisecond), r.Module2.Round(time.Millisecond),
+			r.Module3.Round(time.Millisecond), r.Total.Round(time.Millisecond))
+	}
+}

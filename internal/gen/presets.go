@@ -1,0 +1,57 @@
+package gen
+
+import "roadpart/internal/roadnet"
+
+// The presets reproduce the Table 1 dataset statistics exactly
+// (intersection and segment counts); see DESIGN.md for the substitution
+// rationale. Seeds are fixed so every run of the experiment harness sees
+// the same networks.
+
+// D1 is the Downtown-San-Francisco-scale network: 237 intersections and
+// 420 directed road segments over ~2.5 sq mi. Downtown SF is dominated by
+// one-way streets, which the alternating one-way lattice mirrors.
+func D1() (*roadnet.Network, error) {
+	return City(CityConfig{
+		TargetIntersections: 237,
+		TargetSegments:      420,
+		Spacing:             120,
+		Jitter:              0.15,
+		Seed:                0xD1,
+	})
+}
+
+// M1 is the Melbourne-CBD-scale network: 10,096 intersections and 17,206
+// segments over ~6.6 sq mi.
+func M1() (*roadnet.Network, error) {
+	return City(CityConfig{
+		TargetIntersections: 10096,
+		TargetSegments:      17206,
+		Spacing:             80,
+		Jitter:              0.15,
+		Seed:                0x41,
+	})
+}
+
+// M2 is the extended-CBD-scale network: 28,465 intersections and 53,494
+// segments over ~31.5 sq mi.
+func M2() (*roadnet.Network, error) {
+	return City(CityConfig{
+		TargetIntersections: 28465,
+		TargetSegments:      53494,
+		Spacing:             90,
+		Jitter:              0.15,
+		Seed:                0x42,
+	})
+}
+
+// M3 is the metropolitan-Melbourne-scale network: 42,321 intersections and
+// 79,487 segments over ~42 sq mi.
+func M3() (*roadnet.Network, error) {
+	return City(CityConfig{
+		TargetIntersections: 42321,
+		TargetSegments:      79487,
+		Spacing:             95,
+		Jitter:              0.15,
+		Seed:                0x43,
+	})
+}

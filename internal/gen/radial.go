@@ -1,0 +1,111 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"roadpart/internal/roadnet"
+)
+
+// RadialConfig describes a ring-and-spoke city: concentric ring roads
+// crossed by radial arterials, the classic European/monocentric layout, as
+// a counterpoint to the North-American lattice of City.
+type RadialConfig struct {
+	// Rings is the number of concentric rings. Minimum 1.
+	Rings int
+	// Spokes is the number of radial arterials. Minimum 3.
+	Spokes int
+	// RingSpacing is the radial distance between rings in metres.
+	// 0 selects 150.
+	RingSpacing float64
+	// TwoWay emits both directions for every road when true; otherwise
+	// rings alternate orientation and spokes alternate in/outbound.
+	TwoWay bool
+	// Seed drives positional jitter.
+	Seed uint64
+	// Jitter perturbs intersection positions by ±Jitter·RingSpacing.
+	Jitter float64
+}
+
+// Radial generates a ring-and-spoke road network. The center is a single
+// intersection joined to the first ring by every spoke; intersection
+// (r, s) sits on ring r at spoke s.
+func Radial(cfg RadialConfig) (*roadnet.Network, error) {
+	if cfg.Rings < 1 {
+		return nil, fmt.Errorf("gen: Radial needs at least 1 ring, got %d", cfg.Rings)
+	}
+	if cfg.Spokes < 3 {
+		return nil, fmt.Errorf("gen: Radial needs at least 3 spokes, got %d", cfg.Spokes)
+	}
+	spacing := cfg.RingSpacing
+	if spacing <= 0 {
+		spacing = 150
+	}
+	jitter := cfg.Jitter
+	if jitter < 0 {
+		jitter = 0
+	}
+	rng := NewRNG(cfg.Seed)
+
+	net := &roadnet.Network{}
+	// Center is intersection 0; ring r spoke s is 1 + (r-1)*Spokes + s.
+	net.Intersections = append(net.Intersections, roadnet.Intersection{ID: 0})
+	id := func(r, s int) int { return 1 + (r-1)*cfg.Spokes + s }
+	for r := 1; r <= cfg.Rings; r++ {
+		for s := 0; s < cfg.Spokes; s++ {
+			angle := 2 * math.Pi * float64(s) / float64(cfg.Spokes)
+			radius := float64(r) * spacing
+			net.Intersections = append(net.Intersections, roadnet.Intersection{
+				ID: id(r, s),
+				X:  radius*math.Cos(angle) + jitter*spacing*(2*rng.Float64()-1),
+				Y:  radius*math.Sin(angle) + jitter*spacing*(2*rng.Float64()-1),
+			})
+		}
+	}
+
+	dist := func(a, b int) float64 {
+		pa, pb := net.Intersections[a], net.Intersections[b]
+		d := math.Hypot(pa.X-pb.X, pa.Y-pb.Y)
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	addRoad := func(a, b int, forward bool) {
+		from, to := a, b
+		if !forward {
+			from, to = b, a
+		}
+		net.Segments = append(net.Segments, roadnet.Segment{
+			ID: len(net.Segments), From: from, To: to, Length: dist(a, b),
+		})
+		if cfg.TwoWay {
+			net.Segments = append(net.Segments, roadnet.Segment{
+				ID: len(net.Segments), From: to, To: from, Length: dist(a, b),
+			})
+		}
+	}
+
+	// Spokes: center to ring 1, then outward ring to ring. One-way spokes
+	// alternate inbound/outbound.
+	for s := 0; s < cfg.Spokes; s++ {
+		outbound := s%2 == 0
+		addRoad(0, id(1, s), outbound)
+		for r := 1; r < cfg.Rings; r++ {
+			addRoad(id(r, s), id(r+1, s), outbound)
+		}
+	}
+	// Rings: consecutive spokes on the same ring. One-way rings alternate
+	// clockwise/counter-clockwise.
+	for r := 1; r <= cfg.Rings; r++ {
+		clockwise := r%2 == 0
+		for s := 0; s < cfg.Spokes; s++ {
+			addRoad(id(r, s), id(r, (s+1)%cfg.Spokes), clockwise)
+		}
+	}
+
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: radial network invalid: %w", err)
+	}
+	return net, nil
+}

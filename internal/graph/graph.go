@@ -1,0 +1,243 @@
+// Package graph provides the undirected weighted graph substrate shared by
+// the road graph, the supergraph and the partitioning machinery: adjacency
+// lists, FIFO (BFS) connected components — the component algorithm the
+// paper names in Section 4.3.1 — induced subgraphs and conversion to sparse
+// adjacency matrices.
+package graph
+
+import (
+	"fmt"
+
+	"roadpart/internal/linalg"
+)
+
+// Edge is one directed half of an undirected edge: a neighbor and the
+// weight of the connection.
+type Edge struct {
+	To int
+	W  float64
+}
+
+// Graph is an undirected weighted graph on nodes 0..N()-1. Parallel edges
+// are permitted (each AddEdge call appends); self-loops are rejected.
+type Graph struct {
+	adj   [][]Edge
+	edges int
+}
+
+// New returns an empty graph on n nodes. It panics if n is negative.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: New with negative size %d", n))
+	}
+	return &Graph{adj: make([][]Edge, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges added.
+func (g *Graph) M() int { return g.edges }
+
+// AddEdge connects u and v with weight w. It returns an error for
+// out-of-range endpoints or self-loops.
+func (g *Graph) AddEdge(u, v int, w float64) error {
+	n := len(g.adj)
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: edge (%d,%d) outside %d nodes", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on node %d", u)
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, W: w})
+	g.adj[v] = append(g.adj[v], Edge{To: u, W: w})
+	g.edges++
+	return nil
+}
+
+// Neighbors returns the adjacency list of node u. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+
+// Degree returns the number of incident edge endpoints at u
+// (parallel edges count separately).
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// WeightedDegree returns the sum of weights of edges incident to u.
+func (g *Graph) WeightedDegree(u int) float64 {
+	var s float64
+	for _, e := range g.adj[u] {
+		s += e.W
+	}
+	return s
+}
+
+// TotalWeight returns the sum of all edge weights (each undirected edge
+// counted once).
+func (g *Graph) TotalWeight() float64 {
+	var s float64
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			s += e.W
+		}
+	}
+	return s / 2
+}
+
+// HasEdge reports whether at least one edge connects u and v.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return false
+	}
+	// Scan the shorter list.
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AdjacencyCSR builds the (symmetric) weighted adjacency matrix, summing
+// parallel edges.
+func (g *Graph) AdjacencyCSR() (*linalg.CSR, error) {
+	b := linalg.NewBuilder(g.N(), g.N())
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			b.Add(u, e.To, e.W) // both directions present in adj
+		}
+	}
+	return b.Build()
+}
+
+// Components labels every node with a component id in [0, count) using a
+// FIFO breadth-first search, and returns the labels and the component
+// count. Ids are assigned in order of the lowest-numbered node of each
+// component, so the labeling is deterministic.
+func (g *Graph) Components() ([]int, int) {
+	return g.ComponentsFiltered(nil)
+}
+
+// ComponentsFiltered is Components restricted to the edges for which
+// keep(u, v) is true (keep == nil keeps everything). It is the primitive
+// behind supernode creation, where nodes are connected only if they are
+// adjacent in the road graph and fall in the same density cluster.
+func (g *Graph) ComponentsFiltered(keep func(u, v int) bool) ([]int, int) {
+	n := g.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	count := 0
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = count
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range g.adj[u] {
+				if comp[e.To] >= 0 {
+					continue
+				}
+				if keep != nil && !keep(u, e.To) {
+					continue
+				}
+				comp[e.To] = count
+				queue = append(queue, e.To)
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// IsConnectedSubset reports whether the subgraph induced by the given node
+// set is connected (an empty or singleton set counts as connected). It
+// verifies condition C.2 of the problem definition for one partition.
+func (g *Graph) IsConnectedSubset(nodes []int) bool {
+	if len(nodes) <= 1 {
+		return true
+	}
+	in := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		in[v] = true
+	}
+	seen := map[int]bool{nodes[0]: true}
+	queue := []int{nodes[0]}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if in[e.To] && !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return len(seen) == len(nodes)
+}
+
+// Induced returns the subgraph induced by nodes, plus the mapping from new
+// index to original node id. Duplicate entries in nodes are an error.
+func (g *Graph) Induced(nodes []int) (*Graph, []int, error) {
+	idx := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		if v < 0 || v >= g.N() {
+			return nil, nil, fmt.Errorf("graph: induced node %d outside %d", v, g.N())
+		}
+		if _, dup := idx[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate node %d in induced set", v)
+		}
+		idx[v] = i
+	}
+	sub := New(len(nodes))
+	for i, v := range nodes {
+		for _, e := range g.adj[v] {
+			j, ok := idx[e.To]
+			if !ok || j <= i { // add each undirected edge once
+				continue
+			}
+			if err := sub.AddEdge(i, j, e.W); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	orig := make([]int, len(nodes))
+	copy(orig, nodes)
+	return sub, orig, nil
+}
+
+// Reweighted returns a copy of g with every edge's weight replaced by
+// fn(u, v, w). Useful for turning a topology-only adjacency into a
+// congestion-affinity graph.
+func (g *Graph) Reweighted(fn func(u, v int, w float64) float64) *Graph {
+	out := New(g.N())
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if e.To > u {
+				// Errors are impossible: endpoints were validated on entry.
+				_ = out.AddEdge(u, e.To, fn(u, e.To, e.W))
+			}
+		}
+	}
+	return out
+}
+
+// GroupComponents splits every group of the given labeling into its
+// connected components within g and returns a refined labeling plus the
+// refined group count. It is used both for supernode creation (Alg. 1
+// lines 11–17) and for extracting disjoint partitions from spectral
+// clusters (Alg. 3 line 11).
+func (g *Graph) GroupComponents(group []int) ([]int, int) {
+	if len(group) != g.N() {
+		panic(fmt.Sprintf("graph: GroupComponents labeling length %d != %d nodes", len(group), g.N()))
+	}
+	return g.ComponentsFiltered(func(u, v int) bool { return group[u] == group[v] })
+}

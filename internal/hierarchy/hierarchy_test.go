@@ -1,0 +1,99 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"roadpart/internal/core"
+	"roadpart/internal/gen"
+	"roadpart/internal/metrics"
+	"roadpart/internal/roadnet"
+	"roadpart/internal/traffic"
+)
+
+func hierNet(t *testing.T) *roadnet.Network {
+	t.Helper()
+	net, err := gen.City(gen.CityConfig{TargetIntersections: 250, TargetSegments: 460, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := traffic.Simulate(net, traffic.SimConfig{Vehicles: 1400, Steps: 300, RecordEvery: 300, Hotspots: 5, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traffic.ApplySnapshot(net, snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestBuildTreeInvariants(t *testing.T) {
+	net := hierNet(t)
+	root, err := Build(net, Config{Scheme: core.ASG, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Members) != len(net.Segments) {
+		t.Fatalf("root spans %d of %d segments", len(root.Members), len(net.Segments))
+	}
+	g, err := roadnet.DualGraph(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if root.Children == nil {
+		t.Fatal("root did not split (hotspot data should support one split)")
+	}
+	if len(root.Leaves()) < 2 {
+		t.Fatal("tree has fewer than 2 leaves")
+	}
+}
+
+func TestFlattenLevels(t *testing.T) {
+	net := hierNet(t)
+	root, err := Build(net, Config{Scheme: core.ASG, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := roadnet.DualGraph(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevK := 0
+	for level := 0; level <= 3; level++ {
+		assign, k := root.FlattenLevel(level)
+		if level == 0 && k != 1 {
+			t.Fatalf("level 0 should be a single region, got %d", k)
+		}
+		if k < prevK {
+			t.Fatalf("region count decreased with depth: %d then %d", prevK, k)
+		}
+		prevK = k
+		if err := metrics.ValidatePartition(g, assign); err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+	}
+}
+
+func TestMinSizeStopsSplitting(t *testing.T) {
+	net := hierNet(t)
+	root, err := Build(net, Config{Scheme: core.ASG, Seed: 1, MinSize: len(net.Segments) + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Children != nil {
+		t.Fatal("MinSize above network size should forbid any split")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	net := hierNet(t)
+	root, err := Build(net, Config{Scheme: core.ASG, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := root.Describe(); s == "" {
+		t.Fatal("empty description")
+	}
+}

@@ -1,0 +1,214 @@
+package kmeans
+
+import (
+	"fmt"
+	"math"
+)
+
+// Seeding selects the initialization strategy for ND.
+type Seeding int
+
+const (
+	// SeedPlusPlus is k-means++: each new seed is drawn with probability
+	// proportional to its squared distance from the nearest existing seed.
+	SeedPlusPlus Seeding = iota
+	// SeedForgy picks k distinct points uniformly at random.
+	SeedForgy
+)
+
+// NDOptions configures the d-dimensional solver. The zero value selects
+// k-means++ seeding, DefaultMaxIterations, a single restart and seed 0.
+type NDOptions struct {
+	Seeding  Seeding
+	MaxIter  int
+	Restarts int    // best-of-n restarts by WCSS; 0 means 1
+	Seed     uint64 // deterministic RNG seed
+}
+
+// ND clusters d-dimensional points into k clusters with Lloyd's algorithm.
+// points[i] must all have the same dimension. The best result (lowest WCSS)
+// across opts.Restarts runs is returned. The input is not modified.
+func ND(points [][]float64, k int, opts NDOptions) (*Result, error) {
+	n := len(points)
+	if k < 1 {
+		return nil, fmt.Errorf("kmeans: ND needs k >= 1, got %d", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("kmeans: ND k=%d exceeds %d points", k, n)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("kmeans: ND point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+
+	rng := prng{state: opts.Seed ^ 0x5851f42d4c957f2d}
+	var best *Result
+	for r := 0; r < restarts; r++ {
+		means := seed(points, k, opts.Seeding, &rng)
+		res := lloyd(points, means, k, maxIter)
+		if best == nil || res.WCSS < best.WCSS {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// seed produces the initial centroids.
+func seed(points [][]float64, k int, s Seeding, rng *prng) [][]float64 {
+	n := len(points)
+	dim := len(points[0])
+	means := make([][]float64, 0, k)
+	switch s {
+	case SeedForgy:
+		perm := rng.perm(n)
+		for i := 0; i < k; i++ {
+			means = append(means, dup(points[perm[i]]))
+		}
+	default: // SeedPlusPlus
+		means = append(means, dup(points[rng.intn(n)]))
+		d2 := make([]float64, n)
+		for len(means) < k {
+			var total float64
+			for i, p := range points {
+				d := math.Inf(1)
+				for _, m := range means {
+					if v := sqDist(p, m); v < d {
+						d = v
+					}
+				}
+				d2[i] = d
+				total += d
+			}
+			var next int
+			if total == 0 {
+				next = rng.intn(n) // all points coincide with seeds
+			} else {
+				target := rng.float64() * total
+				var cum float64
+				next = n - 1
+				for i, d := range d2 {
+					cum += d
+					if cum >= target {
+						next = i
+						break
+					}
+				}
+			}
+			means = append(means, dup(points[next]))
+		}
+	}
+	_ = dim
+	return means
+}
+
+// lloyd runs the assignment/update loop to convergence.
+func lloyd(points [][]float64, means [][]float64, k, maxIter int) *Result {
+	n := len(points)
+	dim := len(points[0])
+	assign := make([]int, n)
+	sizes := make([]int, k)
+	sums := make([][]float64, k)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	var wcss float64
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := false
+		for c := 0; c < k; c++ {
+			sizes[c] = 0
+			for d := range sums[c] {
+				sums[c][d] = 0
+			}
+		}
+		wcss = 0
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, m := range means {
+				if d := sqDist(p, m); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			sizes[best]++
+			for d, v := range p {
+				sums[best][d] += v
+			}
+			wcss += bestD
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		for c := 0; c < k; c++ {
+			if sizes[c] == 0 {
+				continue // empty cluster keeps its previous centroid
+			}
+			for d := range means[c] {
+				means[c][d] = sums[c][d] / float64(sizes[c])
+			}
+		}
+	}
+	return &Result{
+		Assign:     assign,
+		Means:      means,
+		Sizes:      sizes,
+		WCSS:       wcss,
+		Iterations: iter,
+		K:          k,
+	}
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func dup(p []float64) []float64 {
+	c := make([]float64, len(p))
+	copy(c, p)
+	return c
+}
+
+// prng is a small deterministic generator (splitmix64 core).
+type prng struct{ state uint64 }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (p *prng) float64() float64 { return float64(p.next()>>11) / (1 << 53) }
+
+func (p *prng) intn(n int) int { return int(p.next() % uint64(n)) }
+
+func (p *prng) perm(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := p.intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

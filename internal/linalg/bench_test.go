@@ -1,0 +1,63 @@
+package linalg
+
+import "testing"
+
+func benchCSR(b *testing.B, n, deg int) *CSR {
+	b.Helper()
+	bld := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		for d := 1; d <= deg; d++ {
+			bld.AddSym(i, (i+d)%n, 1)
+		}
+	}
+	m, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkCSRMulVec10k(b *testing.B) {
+	m := benchCSR(b, 10000, 4)
+	x := make([]float64, 10000)
+	dst := make([]float64, 10000)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(dst, x)
+	}
+}
+
+func BenchmarkCSRBuild10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchCSR(b, 10000, 4)
+	}
+}
+
+func BenchmarkDenseMulVec500(b *testing.B) {
+	m := NewDense(500, 500)
+	for i := 0; i < 500; i++ {
+		for j := 0; j < 500; j++ {
+			m.Set(i, j, float64((i*j)%13))
+		}
+	}
+	x := make([]float64, 500)
+	dst := make([]float64, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(dst, x)
+	}
+}
+
+func BenchmarkNorm2(b *testing.B) {
+	x := make([]float64, 100000)
+	for i := range x {
+		x[i] = float64(i%100) - 50
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Norm2(x)
+	}
+}

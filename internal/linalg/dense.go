@@ -1,0 +1,168 @@
+package linalg
+
+import "fmt"
+
+// Dense is a row-major dense matrix of float64 values.
+// The zero value is an empty 0×0 matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a zeroed r×c matrix.
+// It panics if either dimension is negative.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: NewDense negative dimension %dx%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseFrom builds an r×c matrix backed by a copy of data laid out in
+// row-major order. It panics if len(data) != r*c.
+func NewDenseFrom(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("linalg: NewDenseFrom needs %d values, got %d", r*c, len(data)))
+	}
+	m := NewDense(r, c)
+	copy(m.data, data)
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set stores v at row i, column j.
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Add adds v to the element at row i, column j.
+func (m *Dense) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns the i-th row as a slice sharing the matrix's storage.
+// Mutating the returned slice mutates the matrix.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// MulVec computes dst = m·x. dst and x must not alias.
+// It panics on dimension mismatch.
+func (m *Dense) MulVec(dst, x []float64) {
+	if len(x) != m.cols || len(dst) != m.rows {
+		panic(fmt.Sprintf("linalg: MulVec dims %dx%d with x[%d] dst[%d]", m.rows, m.cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// IsSymmetric reports whether m is square and symmetric to within tol.
+func (m *Dense) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			d := m.data[i*m.cols+j] - m.data[j*m.cols+i]
+			if d < -tol || d > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SymmetrizeInPlace replaces m with (m + mᵀ)/2. It panics if m is not square.
+func (m *Dense) SymmetrizeInPlace() {
+	if m.rows != m.cols {
+		panic("linalg: SymmetrizeInPlace on non-square matrix")
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			v := (m.data[i*m.cols+j] + m.data[j*m.cols+i]) / 2
+			m.data[i*m.cols+j] = v
+			m.data[j*m.cols+i] = v
+		}
+	}
+}
+
+// Mul returns the matrix product m·b.
+// It panics if the inner dimensions disagree.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("linalg: Mul dims %dx%d by %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := NewDense(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		mrow := m.data[i*m.cols : (i+1)*m.cols]
+		orow := out.data[i*b.cols : (i+1)*b.cols]
+		for k, v := range mrow {
+			if v == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += v * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Dense) Transpose() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*m.rows+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Trace returns the sum of diagonal entries. It panics if m is not square.
+func (m *Dense) Trace() float64 {
+	if m.rows != m.cols {
+		panic("linalg: Trace on non-square matrix")
+	}
+	var t float64
+	for i := 0; i < m.rows; i++ {
+		t += m.data[i*m.cols+i]
+	}
+	return t
+}

@@ -1,0 +1,113 @@
+package linalg
+
+import "testing"
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2) = %v, want 7", m.At(1, 2))
+	}
+	m.Add(1, 2, 3)
+	if m.At(1, 2) != 10 {
+		t.Fatalf("Add failed: %v", m.At(1, 2))
+	}
+}
+
+func TestDenseFromAndRow(t *testing.T) {
+	m := NewDenseFrom(2, 2, []float64{1, 2, 3, 4})
+	r := m.Row(1)
+	if r[0] != 3 || r[1] != 4 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	r[0] = 9 // row aliases storage
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row should alias matrix storage")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 100)
+	if m.At(0, 0) == 100 {
+		t.Fatal("Clone should not alias storage")
+	}
+}
+
+func TestDenseMulVec(t *testing.T) {
+	m := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	dst := make([]float64, 2)
+	m.MulVec(dst, []float64{1, 1, 1})
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", dst)
+	}
+}
+
+func TestDenseSymmetry(t *testing.T) {
+	m := NewDenseFrom(2, 2, []float64{1, 2, 2.000001, 1})
+	if m.IsSymmetric(1e-9) {
+		t.Fatal("matrix should not pass tight symmetry check")
+	}
+	if !m.IsSymmetric(1e-3) {
+		t.Fatal("matrix should pass loose symmetry check")
+	}
+	m.SymmetrizeInPlace()
+	if !m.IsSymmetric(0) {
+		t.Fatal("SymmetrizeInPlace did not produce an exactly symmetric matrix")
+	}
+}
+
+func TestDenseTrace(t *testing.T) {
+	m := NewDenseFrom(3, 3, []float64{1, 0, 0, 0, 2, 0, 0, 0, 3})
+	if m.Trace() != 6 {
+		t.Fatalf("Trace = %v, want 6", m.Trace())
+	}
+}
+
+func TestDenseMulAndTranspose(t *testing.T) {
+	a := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDenseFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := a.Mul(b)
+	want := []float64{58, 64, 139, 154}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i*2+j] {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i*2+j])
+			}
+		}
+	}
+	at := a.Transpose()
+	if at.Rows() != 3 || at.Cols() != 2 || at.At(2, 1) != 6 {
+		t.Fatalf("Transpose wrong: %dx%d", at.Rows(), at.Cols())
+	}
+	// (AB)ᵀ == Bᵀ Aᵀ.
+	lhs := c.Transpose()
+	rhs := b.Transpose().Mul(a.Transpose())
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if lhs.At(i, j) != rhs.At(i, j) {
+				t.Fatal("(AB)ᵀ != BᵀAᵀ")
+			}
+		}
+	}
+}
+
+func TestDensePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative dims":   func() { NewDense(-1, 2) },
+		"bad data length": func() { NewDenseFrom(2, 2, []float64{1}) },
+		"At out of range": func() { NewDense(2, 2).At(2, 0) },
+		"trace nonsquare": func() { NewDense(2, 3).Trace() },
+		"mulvec mismatch": func() { NewDense(2, 2).MulVec(make([]float64, 2), make([]float64, 3)) },
+		"mul mismatch":    func() { NewDense(2, 3).Mul(NewDense(2, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

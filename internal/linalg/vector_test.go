@@ -1,0 +1,149 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		x, y []float64
+		want float64
+	}{
+		{nil, nil, 0},
+		{[]float64{1}, []float64{2}, 2},
+		{[]float64{1, 2, 3}, []float64{4, 5, 6}, 32},
+		{[]float64{-1, 1}, []float64{1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Dot(c.x, c.y); got != c.want {
+			t.Errorf("Dot(%v,%v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	cases := []struct {
+		x    []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{0, 0}, 0},
+		{[]float64{3, 4}, 5},
+		{[]float64{-3, 4}, 5},
+		{[]float64{1e200, 1e200}, math.Sqrt2 * 1e200}, // overflow guard
+		{[]float64{1e-200, 1e-200}, math.Sqrt2 * 1e-200},
+	}
+	for _, c := range cases {
+		if got := Norm2(c.x); !almostEq(got, c.want, 1e-14) {
+			t.Errorf("Norm2(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNorm2MatchesNaive(t *testing.T) {
+	f := func(x []float64) bool {
+		// Clamp to a safe range for the naive reference.
+		for i := range x {
+			x[i] = math.Mod(x[i], 1e6)
+			if math.IsNaN(x[i]) {
+				x[i] = 0
+			}
+		}
+		var ss float64
+		for _, v := range x {
+			ss += v * v
+		}
+		return almostEq(Norm2(x), math.Sqrt(ss), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAxpyAndScale(t *testing.T) {
+	y := []float64{1, 2, 3}
+	Axpy(2, []float64{10, 20, 30}, y)
+	want := []float64{21, 42, 63}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy result %v, want %v", y, want)
+		}
+	}
+	Scale(0.5, y)
+	want = []float64{10.5, 21, 31.5}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Scale result %v, want %v", y, want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	n := Normalize(v)
+	if n != 5 {
+		t.Fatalf("Normalize returned %v, want 5", n)
+	}
+	if !almostEq(Norm2(v), 1, 1e-15) {
+		t.Fatalf("normalized vector has norm %v", Norm2(v))
+	}
+	z := []float64{0, 0}
+	if Normalize(z) != 0 {
+		t.Fatal("Normalize of zero vector should return 0")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(x); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(x); v != 4 {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("Mean/Variance of empty slice should be 0")
+	}
+}
+
+func TestDist2(t *testing.T) {
+	if d := Dist2([]float64{0, 0}, []float64{3, 4}); d != 5 {
+		t.Fatalf("Dist2 = %v, want 5", d)
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	x := []float64{1, 2}
+	c := Copy(x)
+	c[0] = 99
+	if x[0] != 1 {
+		t.Fatal("Copy shares storage with the original")
+	}
+}
+
+func TestFillZeroSum(t *testing.T) {
+	x := make([]float64, 4)
+	Fill(x, 2.5)
+	if Sum(x) != 10 {
+		t.Fatalf("Sum after Fill = %v, want 10", Sum(x))
+	}
+	Zero(x)
+	if Sum(x) != 0 {
+		t.Fatal("Zero did not clear the slice")
+	}
+}

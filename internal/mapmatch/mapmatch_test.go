@@ -1,0 +1,190 @@
+package mapmatch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"roadpart/internal/gen"
+	"roadpart/internal/roadnet"
+)
+
+// hNet builds a horizontal two-way road pair from (0,0) to (1000,0) plus
+// a vertical side street at x=500.
+func hNet() *roadnet.Network {
+	n := &roadnet.Network{
+		Intersections: []roadnet.Intersection{
+			{ID: 0, X: 0, Y: 0},
+			{ID: 1, X: 1000, Y: 0},
+			{ID: 2, X: 500, Y: 0},
+			{ID: 3, X: 500, Y: 400},
+		},
+		Segments: []roadnet.Segment{
+			{ID: 0, From: 0, To: 2, Length: 500}, // eastbound west half
+			{ID: 1, From: 2, To: 1, Length: 500}, // eastbound east half
+			{ID: 2, From: 1, To: 2, Length: 500}, // westbound east half
+			{ID: 3, From: 2, To: 0, Length: 500}, // westbound west half
+			{ID: 4, From: 2, To: 3, Length: 400}, // northbound side street
+		},
+	}
+	return n
+}
+
+func TestNearestBasic(t *testing.T) {
+	ix, err := NewIndex(hNet(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point near the side street.
+	m, ok := ix.Nearest(510, 200, 0, 0, 50)
+	if !ok {
+		t.Fatal("no match found")
+	}
+	if m.Segment != 4 {
+		t.Fatalf("matched segment %d, want 4 (side street)", m.Segment)
+	}
+	if math.Abs(m.Dist-10) > 1e-9 {
+		t.Fatalf("dist = %v, want 10", m.Dist)
+	}
+	if math.Abs(m.Along-200) > 1e-9 {
+		t.Fatalf("along = %v, want 200", m.Along)
+	}
+}
+
+func TestNearestHeadingDisambiguatesDirections(t *testing.T) {
+	ix, err := NewIndex(hNet(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point on the west half of the main road, heading east: must match
+	// the eastbound segment 0, not the westbound 3.
+	east, ok := ix.Nearest(250, 1, 1, 0, 50)
+	if !ok || east.Segment != 0 {
+		t.Fatalf("eastbound heading matched %v", east.Segment)
+	}
+	west, ok := ix.Nearest(250, 1, -1, 0, 50)
+	if !ok || west.Segment != 3 {
+		t.Fatalf("westbound heading matched %v", west.Segment)
+	}
+}
+
+func TestNearestRespectsMaxDist(t *testing.T) {
+	ix, err := NewIndex(hNet(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ix.Nearest(500, 5000, 0, 0, 100); ok {
+		t.Fatal("point 4.6 km away should not match within 100 m")
+	}
+}
+
+func TestNewIndexErrors(t *testing.T) {
+	if _, err := NewIndex(&roadnet.Network{}, 0); err == nil {
+		t.Fatal("empty network should error")
+	}
+}
+
+// TestNearestMatchesBruteForce cross-checks the grid search against an
+// exhaustive scan on a random city.
+func TestNearestMatchesBruteForce(t *testing.T) {
+	net, err := gen.City(gen.CityConfig{TargetIntersections: 100, TargetSegments: 180, Seed: 5, Jitter: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := NewIndex(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute := func(x, y float64) (int, float64) {
+		best, bestD := -1, math.Inf(1)
+		for i, s := range net.Segments {
+			a, b := net.Intersections[s.From], net.Intersections[s.To]
+			d, _ := pointToSegment(x, y, a.X, a.Y, b.X, b.Y)
+			if d < bestD {
+				best, bestD = i, d
+			}
+		}
+		return best, bestD
+	}
+	f := func(rawX, rawY uint16) bool {
+		x := float64(rawX%1200) - 100
+		y := float64(rawY%1200) - 100
+		m, ok := ix.Nearest(x, y, 0, 0, 500)
+		bseg, bd := brute(x, y)
+		if bd > 500 {
+			return !ok
+		}
+		if !ok {
+			return false
+		}
+		// Either the same segment, or a tie within float tolerance
+		// (two-way pairs overlap exactly).
+		return m.Segment == bseg || math.Abs(m.Dist-bd) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchTrajectory(t *testing.T) {
+	ix, err := NewIndex(hNet(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A vehicle driving east along the main road then turning north.
+	traj := Trajectory{
+		{X: 100, Y: 2, T: 0},
+		{X: 400, Y: 2, T: 1},
+		{X: 510, Y: 50, T: 2},
+		{X: 505, Y: 300, T: 3},
+	}
+	got := ix.MatchTrajectory(traj, 60)
+	want := []int{0, 0, 4, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d matched %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestMatchTrajectoryUnmatched(t *testing.T) {
+	ix, err := NewIndex(hNet(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ix.MatchTrajectory(Trajectory{{X: 0, Y: 9999, T: 0}}, 50)
+	if got[0] != -1 {
+		t.Fatalf("far point matched %d, want -1", got[0])
+	}
+}
+
+func TestDensitiesFromTrajectories(t *testing.T) {
+	net := hNet()
+	ix, err := NewIndex(net, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trajs := []Trajectory{
+		{{X: 100, Y: 0, T: 0}, {X: 300, Y: 0, T: 1}},
+		{{X: 200, Y: 0, T: 0}, {X: 400, Y: 0, T: 1}},
+	}
+	snaps, err := Densities(net, ix, trajs, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(snaps))
+	}
+	// Both vehicles sit on segment 0 (or its two-way twin 3) at t=0;
+	// total matched mass must be 2 vehicles.
+	var mass float64
+	for i, d := range snaps[0] {
+		mass += d * net.Segments[i].Length
+	}
+	if math.Abs(mass-2) > 1e-9 {
+		t.Fatalf("t=0 mass = %v, want 2", mass)
+	}
+	if _, err := Densities(net, ix, trajs, -1, 50); err == nil {
+		t.Fatal("negative maxT should error")
+	}
+}

@@ -1,0 +1,49 @@
+package metrics
+
+import "fmt"
+
+// ARI returns the Adjusted Rand Index between two partitionings of the
+// same node set: 1 for identical partitions, ≈0 for independent ones
+// (it can go slightly negative for partitions more discordant than
+// chance). Used to track how much a network's congestion regions drift
+// between re-partitioning rounds.
+func ARI(a, b []int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: ARI lengths differ: %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n == 0 {
+		return 0, fmt.Errorf("metrics: ARI of empty partitions")
+	}
+	// Contingency table.
+	type cell struct{ i, j int }
+	cont := map[cell]int{}
+	rows := map[int]int{}
+	cols := map[int]int{}
+	for t := 0; t < n; t++ {
+		if a[t] < 0 || b[t] < 0 {
+			return 0, fmt.Errorf("metrics: ARI with negative label at %d", t)
+		}
+		cont[cell{a[t], b[t]}]++
+		rows[a[t]]++
+		cols[b[t]]++
+	}
+	choose2 := func(m int) float64 { return float64(m) * float64(m-1) / 2 }
+	var sumCells, sumRows, sumCols float64
+	for _, c := range cont {
+		sumCells += choose2(c)
+	}
+	for _, r := range rows {
+		sumRows += choose2(r)
+	}
+	for _, c := range cols {
+		sumCols += choose2(c)
+	}
+	total := choose2(n)
+	expected := sumRows * sumCols / total
+	maxIndex := (sumRows + sumCols) / 2
+	if maxIndex == expected {
+		return 1, nil // both partitions trivial (all singletons or all one)
+	}
+	return (sumCells - expected) / (maxIndex - expected), nil
+}

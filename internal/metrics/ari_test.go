@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestARIIdentical(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2}
+	v, err := ARI(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("ARI of identical partitions = %v, want 1", v)
+	}
+}
+
+func TestARIRelabelingInvariant(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	b := []int{5, 5, 9, 9, 0, 0} // same structure, different labels
+	v, err := ARI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("ARI should be label-invariant, got %v", v)
+	}
+}
+
+func TestARIIndependentNearZero(t *testing.T) {
+	// Two orthogonal stripe patterns over 100 items.
+	a := make([]int, 100)
+	b := make([]int, 100)
+	for i := range a {
+		a[i] = i % 2
+		b[i] = (i / 2) % 2
+	}
+	v, err := ARI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v) > 0.1 {
+		t.Fatalf("independent partitions should score near 0, got %v", v)
+	}
+}
+
+func TestARIPartialAgreement(t *testing.T) {
+	a := []int{0, 0, 0, 1, 1, 1}
+	b := []int{0, 0, 1, 1, 1, 1} // one element moved
+	v, err := ARI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 || v >= 1 {
+		t.Fatalf("partial agreement should be in (0,1), got %v", v)
+	}
+}
+
+func TestARITrivialPartitions(t *testing.T) {
+	// Both all-in-one: max index == expected index, defined as 1.
+	v, err := ARI([]int{0, 0, 0}, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("identical trivial partitions = %v, want 1", v)
+	}
+}
+
+func TestARIErrors(t *testing.T) {
+	if _, err := ARI([]int{0}, []int{0, 1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := ARI(nil, nil); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := ARI([]int{-1}, []int{0}); err == nil {
+		t.Fatal("negative label should error")
+	}
+}

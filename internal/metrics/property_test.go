@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestARISymmetryProperty: ARI(a, b) == ARI(b, a) for random labelings.
+func TestARISymmetryProperty(t *testing.T) {
+	f := func(rawA, rawB []uint8, nn uint8) bool {
+		n := int(nn%30) + 2
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := 0; i < n; i++ {
+			if i < len(rawA) {
+				a[i] = int(rawA[i] % 4)
+			}
+			if i < len(rawB) {
+				b[i] = int(rawB[i] % 4)
+			}
+		}
+		ab, err1 := ARI(a, b)
+		ba, err2 := ARI(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		d := ab - ba
+		return d < 1e-12 && d > -1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestARISelfIdentityProperty: ARI(a, a) == 1 whenever a has at least two
+// distinct labels (with a single label both indices coincide and the
+// convention returns 1 as well).
+func TestARISelfIdentityProperty(t *testing.T) {
+	f := func(raw []uint8, nn uint8) bool {
+		n := int(nn%30) + 2
+		a := make([]int, n)
+		for i := 0; i < n; i++ {
+			if i < len(raw) {
+				a[i] = int(raw[i] % 5)
+			}
+		}
+		v, err := ARI(a, a)
+		if err != nil {
+			return false
+		}
+		return v > 1-1e-12 && v < 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMeanCrossSymmetryProperty: the cross-partition mean distance is
+// symmetric in its arguments.
+func TestMeanCrossSymmetryProperty(t *testing.T) {
+	f := func(rawA, rawB []int8) bool {
+		if len(rawA) == 0 || len(rawB) == 0 {
+			return true
+		}
+		fa := make([]float64, len(rawA))
+		idxA := make([]int, len(rawA))
+		for i, v := range rawA {
+			fa[i] = float64(v)
+			idxA[i] = i
+		}
+		fb := make([]float64, len(rawB))
+		idxB := make([]int, len(rawB))
+		for i, v := range rawB {
+			fb[i] = float64(v)
+			idxB[i] = i
+		}
+		a := newSortedPart(fa, idxA)
+		b := newSortedPart(fb, idxB)
+		x, y := meanCross(&a, &b), meanCross(&b, &a)
+		d := x - y
+		return d < 1e-9 && d > -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package render draws road networks as SVG, coloring segments by
+// partition or by congestion. Visual inspection is how partitionings of
+// real city networks are sanity-checked (the paper's Figure 1 workflow),
+// so the renderer is part of the library rather than an afterthought.
+package render
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+
+	"roadpart/internal/roadnet"
+)
+
+// palette provides visually distinct partition colors; partitions beyond
+// its length cycle with varying stroke dashes.
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#8c564b",
+}
+
+// Options tunes the rendering.
+type Options struct {
+	// Width is the SVG width in pixels; height follows the network's
+	// aspect ratio. 0 selects 800.
+	Width int
+	// StrokeWidth is the segment line width in pixels. 0 selects 2.
+	StrokeWidth float64
+	// Title is an optional caption.
+	Title string
+}
+
+// Partitions writes an SVG of the network with each road segment colored
+// by its partition, with a color legend when the partition count is small
+// enough to label. assign must cover every segment.
+func Partitions(w io.Writer, net *roadnet.Network, assign []int, opts Options) error {
+	if len(assign) != len(net.Segments) {
+		return fmt.Errorf("render: %d assignments for %d segments", len(assign), len(net.Segments))
+	}
+	k := 0
+	for _, p := range assign {
+		if p+1 > k {
+			k = p + 1
+		}
+	}
+	legend := ""
+	if k >= 2 && k <= len(palette) {
+		legend = partitionLegend(k)
+	}
+	return drawWithExtra(w, net, opts, legend, func(i int) (string, float64) {
+		p := assign[i]
+		if p < 0 {
+			return "#000000", 1
+		}
+		return palette[p%len(palette)], 1
+	})
+}
+
+// partitionLegend emits one swatch + label per region, stacked at the
+// top-right corner.
+func partitionLegend(k int) string {
+	var b []byte
+	for p := 0; p < k; p++ {
+		y := 24 + 16*p
+		b = append(b, fmt.Sprintf(
+			`<rect x="-64" y="%d" width="10" height="10" fill="%s"/><text x="-50" y="%d" font-family="sans-serif" font-size="10">region %d</text>`+"\n",
+			y, palette[p%len(palette)], y+9, p)...)
+	}
+	return string(b)
+}
+
+// Densities writes an SVG of the network with each segment colored by its
+// congestion on a white-to-red ramp (the maximum density saturates).
+func Densities(w io.Writer, net *roadnet.Network, opts Options) error {
+	var maxD float64
+	for _, s := range net.Segments {
+		if s.Density > maxD {
+			maxD = s.Density
+		}
+	}
+	return draw(w, net, opts, func(i int) (string, float64) {
+		frac := 0.0
+		if maxD > 0 {
+			frac = net.Segments[i].Density / maxD
+		}
+		// Ramp from light gray to saturated red.
+		r := 230 - int(60*frac)
+		gb := 230 - int(200*frac)
+		return fmt.Sprintf("#%02x%02x%02x", r+25*int(frac), gb, gb), 0.5 + 1.5*frac
+	})
+}
+
+// draw emits the SVG skeleton and one line per segment, styled by the
+// callback (color, relative width multiplier).
+func draw(w io.Writer, net *roadnet.Network, opts Options, style func(i int) (string, float64)) error {
+	return drawWithExtra(w, net, opts, "", style)
+}
+
+// drawWithExtra is draw plus extra SVG markup anchored at the top-right
+// corner (x coordinates are relative to the right edge via a transform).
+func drawWithExtra(w io.Writer, net *roadnet.Network, opts Options, extra string, style func(i int) (string, float64)) error {
+	if len(net.Segments) == 0 {
+		return fmt.Errorf("render: network has no segments")
+	}
+	if opts.Width == 0 {
+		opts.Width = 800
+	}
+	if opts.StrokeWidth == 0 {
+		opts.StrokeWidth = 2
+	}
+
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range net.Intersections {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	const margin = 20.0
+	scale := (float64(opts.Width) - 2*margin) / spanX
+	height := int(spanY*scale + 2*margin)
+	tx := func(x float64) float64 { return margin + (x-minX)*scale }
+	ty := func(y float64) float64 { return margin + (maxY-y)*scale } // flip y
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.Width, height, opts.Width, height); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	if opts.Title != "" {
+		fmt.Fprintf(w, `<text x="%g" y="14" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			margin, html.EscapeString(opts.Title))
+	}
+	for i, s := range net.Segments {
+		a, b := net.Intersections[s.From], net.Intersections[s.To]
+		color, wmul := style(i)
+		fmt.Fprintf(w,
+			`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.2f" stroke-linecap="round"/>`+"\n",
+			tx(a.X), ty(a.Y), tx(b.X), ty(b.Y), color, opts.StrokeWidth*wmul)
+	}
+	if extra != "" {
+		fmt.Fprintf(w, `<g transform="translate(%d 0)">`+"\n%s</g>\n", opts.Width, extra)
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}

@@ -1,0 +1,127 @@
+package render
+
+import (
+	"bytes"
+	"encoding/xml"
+	"io"
+	"strings"
+	"testing"
+
+	"roadpart/internal/roadnet"
+)
+
+func tinyNet() *roadnet.Network {
+	return &roadnet.Network{
+		Intersections: []roadnet.Intersection{
+			{ID: 0, X: 0, Y: 0}, {ID: 1, X: 100, Y: 0}, {ID: 2, X: 100, Y: 100},
+		},
+		Segments: []roadnet.Segment{
+			{ID: 0, From: 0, To: 1, Length: 100, Density: 0.1},
+			{ID: 1, From: 1, To: 2, Length: 100, Density: 0.9},
+		},
+	}
+}
+
+func TestPartitionsSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Partitions(&buf, tinyNet(), []int{0, 1}, Options{Title: "demo"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<line", "demo", palette[0], palette[1]} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<line") != 2 {
+		t.Fatalf("want 2 lines, got %d", strings.Count(out, "<line"))
+	}
+}
+
+func TestPartitionsLegend(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Partitions(&buf, tinyNet(), []int{0, 1}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "region 0") || !strings.Contains(out, "region 1") {
+		t.Fatal("legend labels missing for a 2-region map")
+	}
+	// Single region: no legend.
+	buf.Reset()
+	if err := Partitions(&buf, tinyNet(), []int{0, 0}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "region 0") {
+		t.Fatal("single-region map should have no legend")
+	}
+}
+
+func TestPartitionsPaletteCycles(t *testing.T) {
+	net := tinyNet()
+	var buf bytes.Buffer
+	// Partition ids beyond the palette must not panic and must color.
+	if err := Partitions(&buf, net, []int{len(palette), 2*len(palette) + 1}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), palette[0]) {
+		t.Fatal("palette cycling broken")
+	}
+}
+
+func TestPartitionsValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Partitions(&buf, tinyNet(), []int{0}, Options{}); err == nil {
+		t.Fatal("short assignment should error")
+	}
+	if err := Partitions(&buf, &roadnet.Network{}, nil, Options{}); err == nil {
+		t.Fatal("empty network should error")
+	}
+}
+
+func TestDensitiesSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Densities(&buf, tinyNet(), Options{Width: 400}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `width="400"`) {
+		t.Fatal("custom width ignored")
+	}
+	if strings.Count(out, "<line") != 2 {
+		t.Fatal("segments missing")
+	}
+}
+
+func TestSVGIsWellFormedXML(t *testing.T) {
+	net := tinyNet()
+	for name, drawFn := range map[string]func(*bytes.Buffer) error{
+		"partitions": func(b *bytes.Buffer) error { return Partitions(b, net, []int{0, 1}, Options{Title: "a<b&c"}) },
+		"densities":  func(b *bytes.Buffer) error { return Densities(b, net, Options{}) },
+	} {
+		var buf bytes.Buffer
+		if err := drawFn(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dec := xml.NewDecoder(&buf)
+		for {
+			_, err := dec.Token()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: SVG is not well-formed XML: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestDensitiesZeroTraffic(t *testing.T) {
+	net := tinyNet()
+	net.Segments[0].Density = 0
+	net.Segments[1].Density = 0
+	var buf bytes.Buffer
+	if err := Densities(&buf, net, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package roadnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadGeoJSON asserts the GeoJSON reader never panics and that every
+// accepted network validates and survives a JSON round trip.
+func FuzzReadGeoJSON(f *testing.F) {
+	f.Add(`{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"LineString","coordinates":[[0,0],[10,0]]},"properties":{"density":0.5}}]}`)
+	f.Add(`{"type":"FeatureCollection","features":[]}`)
+	f.Add(`{"type":"Point"}`)
+	f.Add(`garbage`)
+	f.Add(`{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"LineString","coordinates":[[0,0],[0,0]]},"properties":{}}]}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		net, err := ReadGeoJSON(strings.NewReader(src), 1)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := net.Validate(); err != nil {
+			t.Fatalf("accepted network fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := net.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted network fails to serialize: %v", err)
+		}
+	})
+}
+
+// FuzzReadDensitiesCSV asserts the CSV reader never panics and never
+// leaves the network with invalid densities.
+func FuzzReadDensitiesCSV(f *testing.F) {
+	f.Add("segment_id,density\n0,1\n1,2\n2,3\n3,4\n")
+	f.Add("0,0.5\n1,0.5\n2,0.5\n3,0.5\n")
+	f.Add("bogus")
+	f.Add("0,-1\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		n := crossNet()
+		if err := n.ReadDensitiesCSV(strings.NewReader(src)); err != nil {
+			return
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("accepted CSV left invalid network: %v", err)
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package roadnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// GeoJSON interchange: most city road-network exports arrive as a
+// FeatureCollection of LineString features. WriteGeoJSON emits one
+// LineString per directed segment with its id, length and density as
+// properties (and the partition id when one is supplied); ReadGeoJSON
+// reconstructs a Network from such a file, creating intersections at the
+// endpoints of each LineString and merging endpoints that coincide within
+// a tolerance.
+//
+// Coordinates are treated as planar (metres). Real longitude/latitude
+// data should be projected before import; the reader only needs relative
+// positions to be meaningful.
+
+// geoFeatureCollection is the subset of the GeoJSON schema we exchange.
+type geoFeatureCollection struct {
+	Type     string       `json:"type"`
+	Features []geoFeature `json:"features"`
+}
+
+type geoFeature struct {
+	Type       string                 `json:"type"`
+	Geometry   geoGeometry            `json:"geometry"`
+	Properties map[string]interface{} `json:"properties,omitempty"`
+}
+
+type geoGeometry struct {
+	Type        string       `json:"type"`
+	Coordinates [][2]float64 `json:"coordinates"`
+}
+
+// WriteGeoJSON serializes the network as a GeoJSON FeatureCollection of
+// LineStrings, one per directed segment. assign may be nil; when given it
+// must cover every segment and adds a "partition" property.
+func (n *Network) WriteGeoJSON(w io.Writer, assign []int) error {
+	if assign != nil && len(assign) != len(n.Segments) {
+		return fmt.Errorf("roadnet: %d partition labels for %d segments", len(assign), len(n.Segments))
+	}
+	fc := geoFeatureCollection{Type: "FeatureCollection"}
+	for i, s := range n.Segments {
+		a, b := n.Intersections[s.From], n.Intersections[s.To]
+		props := map[string]interface{}{
+			"segment_id": s.ID,
+			"length_m":   s.Length,
+			"density":    s.Density,
+		}
+		if assign != nil {
+			props["partition"] = assign[i]
+		}
+		fc.Features = append(fc.Features, geoFeature{
+			Type: "Feature",
+			Geometry: geoGeometry{
+				Type:        "LineString",
+				Coordinates: [][2]float64{{a.X, a.Y}, {b.X, b.Y}},
+			},
+			Properties: props,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(fc)
+}
+
+// ReadGeoJSON parses a FeatureCollection of LineString features into a
+// Network. Intersections are created at LineString endpoints, merging
+// points closer than tol (pass 0 for exact matching). Multi-point
+// LineStrings contribute one segment per consecutive coordinate pair.
+// Properties "density" and "length_m" are honored when present; length
+// defaults to the Euclidean distance.
+func ReadGeoJSON(r io.Reader, tol float64) (*Network, error) {
+	var fc geoFeatureCollection
+	if err := json.NewDecoder(r).Decode(&fc); err != nil {
+		return nil, fmt.Errorf("roadnet: decoding GeoJSON: %w", err)
+	}
+	if fc.Type != "FeatureCollection" {
+		return nil, fmt.Errorf("roadnet: GeoJSON type %q, want FeatureCollection", fc.Type)
+	}
+	if tol < 0 {
+		tol = 0
+	}
+
+	net := &Network{}
+	// Snap endpoints onto a grid of cell size max(tol, tiny) for merging.
+	cell := tol
+	if cell == 0 {
+		cell = 1e-9
+	}
+	type key struct{ gx, gy int64 }
+	index := map[key]int{}
+	intern := func(x, y float64) int {
+		k := key{int64(math.Floor(x / cell)), int64(math.Floor(y / cell))}
+		// Check the 3×3 neighborhood to be robust at cell borders.
+		for dx := int64(-1); dx <= 1; dx++ {
+			for dy := int64(-1); dy <= 1; dy++ {
+				if id, ok := index[key{k.gx + dx, k.gy + dy}]; ok {
+					p := net.Intersections[id]
+					if math.Hypot(p.X-x, p.Y-y) <= tol {
+						return id
+					}
+				}
+			}
+		}
+		id := len(net.Intersections)
+		net.Intersections = append(net.Intersections, Intersection{ID: id, X: x, Y: y})
+		index[k] = id
+		return id
+	}
+
+	for fi, f := range fc.Features {
+		if f.Geometry.Type != "LineString" {
+			continue // politely skip points/polygons in mixed files
+		}
+		coords := f.Geometry.Coordinates
+		if len(coords) < 2 {
+			return nil, fmt.Errorf("roadnet: feature %d has %d coordinates", fi, len(coords))
+		}
+		density := 0.0
+		if v, ok := f.Properties["density"].(float64); ok && v >= 0 {
+			density = v
+		}
+		explicitLen := 0.0
+		if v, ok := f.Properties["length_m"].(float64); ok && v > 0 {
+			explicitLen = v
+		}
+		for c := 0; c+1 < len(coords); c++ {
+			from := intern(coords[c][0], coords[c][1])
+			to := intern(coords[c+1][0], coords[c+1][1])
+			if from == to {
+				continue // degenerate hop collapsed by merging
+			}
+			length := explicitLen
+			if length == 0 || len(coords) > 2 {
+				length = math.Hypot(coords[c][0]-coords[c+1][0], coords[c][1]-coords[c+1][1])
+				if length <= 0 {
+					length = 1
+				}
+			}
+			net.Segments = append(net.Segments, Segment{
+				ID: len(net.Segments), From: from, To: to, Length: length, Density: density,
+			})
+		}
+	}
+	if len(net.Segments) == 0 {
+		return nil, fmt.Errorf("roadnet: GeoJSON contains no usable LineStrings")
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

@@ -1,0 +1,131 @@
+package roadnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGeoJSONRoundTrip(t *testing.T) {
+	n := crossNet()
+	var buf bytes.Buffer
+	if err := n.WriteGeoJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGeoJSON(&buf, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Segments) != len(n.Segments) {
+		t.Fatalf("segments = %d, want %d", len(back.Segments), len(n.Segments))
+	}
+	if len(back.Intersections) != len(n.Intersections) {
+		t.Fatalf("intersections = %d, want %d", len(back.Intersections), len(n.Intersections))
+	}
+	// Densities survive the round trip.
+	var sum float64
+	for _, s := range back.Segments {
+		sum += s.Density
+	}
+	if sum != 1+2+3+4 {
+		t.Fatalf("density sum = %v, want 10", sum)
+	}
+	// Topology: the dual graphs match in size.
+	g1, err := DualGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := DualGraph(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.M() != g2.M() {
+		t.Fatalf("dual edges %d vs %d", g1.M(), g2.M())
+	}
+}
+
+func TestGeoJSONWithPartitions(t *testing.T) {
+	n := crossNet()
+	var buf bytes.Buffer
+	if err := n.WriteGeoJSON(&buf, []int{0, 0, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"partition":1`) {
+		t.Fatal("partition property missing")
+	}
+	if err := n.WriteGeoJSON(&buf, []int{0}); err == nil {
+		t.Fatal("short assignment should error")
+	}
+}
+
+func TestReadGeoJSONMergesEndpoints(t *testing.T) {
+	// Two LineStrings sharing an endpoint up to 0.4 m: with tol=1 they
+	// must share one intersection.
+	src := `{"type":"FeatureCollection","features":[
+		{"type":"Feature","geometry":{"type":"LineString","coordinates":[[0,0],[100,0]]},"properties":{"density":0.2}},
+		{"type":"Feature","geometry":{"type":"LineString","coordinates":[[100.4,0],[200,0]]},"properties":{"density":0.3}}
+	]}`
+	net, err := ReadGeoJSON(strings.NewReader(src), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Intersections) != 3 {
+		t.Fatalf("intersections = %d, want 3 (endpoints merged)", len(net.Intersections))
+	}
+	if len(net.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(net.Segments))
+	}
+	g, err := DualGraph(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("merged endpoint should make the segments adjacent")
+	}
+}
+
+func TestReadGeoJSONPolyline(t *testing.T) {
+	// One 3-point LineString yields two segments.
+	src := `{"type":"FeatureCollection","features":[
+		{"type":"Feature","geometry":{"type":"LineString","coordinates":[[0,0],[100,0],[100,100]]},"properties":{}}
+	]}`
+	net, err := ReadGeoJSON(strings.NewReader(src), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(net.Segments))
+	}
+	if net.Segments[0].Length != 100 || net.Segments[1].Length != 100 {
+		t.Fatalf("lengths = %v, %v", net.Segments[0].Length, net.Segments[1].Length)
+	}
+}
+
+func TestReadGeoJSONSkipsNonLineStrings(t *testing.T) {
+	src := `{"type":"FeatureCollection","features":[
+		{"type":"Feature","geometry":{"type":"Point","coordinates":[[0,0]]},"properties":{}},
+		{"type":"Feature","geometry":{"type":"LineString","coordinates":[[0,0],[50,0]]},"properties":{}}
+	]}`
+	net, err := ReadGeoJSON(strings.NewReader(src), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Segments) != 1 {
+		t.Fatalf("segments = %d, want 1", len(net.Segments))
+	}
+}
+
+func TestReadGeoJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"not geojson":    `{"type":"Topology"}`,
+		"garbage":        `zzz`,
+		"no linestrings": `{"type":"FeatureCollection","features":[]}`,
+		"one coordinate": `{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"LineString","coordinates":[[0,0]]},"properties":{}}]}`,
+	}
+	for name, src := range cases {
+		if _, err := ReadGeoJSON(strings.NewReader(src), 0); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package roadnet models urban road networks and their dual road graphs.
+//
+// A Network follows Definition 1 of the paper: a set of intersection points
+// connected by directed road segments, each segment carrying a traffic
+// density (vehicles per metre). The DualGraph transformation (Definition 2)
+// turns segments into nodes and adjacency-at-an-intersection into
+// undirected links, which is the representation every later stage of the
+// framework operates on.
+package roadnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Intersection is a node of the physical road network (Definition 1's ι).
+type Intersection struct {
+	ID   int
+	X, Y float64 // planar coordinates in metres
+}
+
+// Segment is a directed road segment (Definition 1's r). From and To index
+// into the network's intersection slice. Density is the segment's traffic
+// density r.d in vehicles per metre.
+type Segment struct {
+	ID       int
+	From, To int
+	Length   float64
+	Density  float64
+}
+
+// Network is a directed urban road network N = (I, R).
+type Network struct {
+	Intersections []Intersection
+	Segments      []Segment
+}
+
+// Validate checks referential integrity: intersection IDs match their
+// indices, segment endpoints are in range, lengths are positive and finite,
+// and densities are non-negative and finite.
+func (n *Network) Validate() error {
+	for i, p := range n.Intersections {
+		if p.ID != i {
+			return fmt.Errorf("roadnet: intersection %d has ID %d", i, p.ID)
+		}
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			return fmt.Errorf("roadnet: intersection %d has non-finite coordinates", i)
+		}
+	}
+	ni := len(n.Intersections)
+	for i, s := range n.Segments {
+		if s.ID != i {
+			return fmt.Errorf("roadnet: segment %d has ID %d", i, s.ID)
+		}
+		if s.From < 0 || s.From >= ni || s.To < 0 || s.To >= ni {
+			return fmt.Errorf("roadnet: segment %d endpoints (%d,%d) outside %d intersections", i, s.From, s.To, ni)
+		}
+		if s.From == s.To {
+			return fmt.Errorf("roadnet: segment %d is a loop at intersection %d", i, s.From)
+		}
+		if !(s.Length > 0) || math.IsInf(s.Length, 0) {
+			return fmt.Errorf("roadnet: segment %d has invalid length %v", i, s.Length)
+		}
+		if s.Density < 0 || math.IsNaN(s.Density) || math.IsInf(s.Density, 0) {
+			return fmt.Errorf("roadnet: segment %d has invalid density %v", i, s.Density)
+		}
+	}
+	return nil
+}
+
+// Densities returns a copy of the per-segment density vector, the feature
+// values v.f carried into the road graph.
+func (n *Network) Densities() []float64 {
+	d := make([]float64, len(n.Segments))
+	for i, s := range n.Segments {
+		d[i] = s.Density
+	}
+	return d
+}
+
+// SetDensities overwrites all segment densities from d.
+// It returns an error if the lengths differ.
+func (n *Network) SetDensities(d []float64) error {
+	if len(d) != len(n.Segments) {
+		return fmt.Errorf("roadnet: %d densities for %d segments", len(d), len(n.Segments))
+	}
+	for i := range n.Segments {
+		n.Segments[i].Density = d[i]
+	}
+	return nil
+}
+
+// SegmentMidpoint returns the planar midpoint of segment i, used by
+// spatially aware evaluation and rendering.
+func (n *Network) SegmentMidpoint(i int) (x, y float64) {
+	s := n.Segments[i]
+	a, b := n.Intersections[s.From], n.Intersections[s.To]
+	return (a.X + b.X) / 2, (a.Y + b.Y) / 2
+}
+
+// OutSegments returns, for every intersection, the segments departing from
+// it — the turn options a vehicle has when it reaches the intersection.
+func (n *Network) OutSegments() [][]int {
+	out := make([][]int, len(n.Intersections))
+	for i, s := range n.Segments {
+		out[s.From] = append(out[s.From], i)
+	}
+	return out
+}
+
+// Stats summarizes a network for reporting (Table 1 of the paper).
+type Stats struct {
+	Intersections int
+	Segments      int
+	TotalLengthKM float64
+	MeanDensity   float64
+	MaxDensity    float64
+}
+
+// Stats computes summary statistics.
+func (n *Network) Stats() Stats {
+	st := Stats{Intersections: len(n.Intersections), Segments: len(n.Segments)}
+	for _, s := range n.Segments {
+		st.TotalLengthKM += s.Length / 1000
+		st.MeanDensity += s.Density
+		if s.Density > st.MaxDensity {
+			st.MaxDensity = s.Density
+		}
+	}
+	if len(n.Segments) > 0 {
+		st.MeanDensity /= float64(len(n.Segments))
+	}
+	return st
+}

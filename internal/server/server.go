@@ -1,0 +1,281 @@
+// Package server exposes the partitioning framework as a JSON-over-HTTP
+// service, so non-Go traffic-management stacks can call it. Endpoints:
+//
+//	POST /v1/partition  — partition a network at a fixed k
+//	POST /v1/sweep      — sweep k and report per-k quality (+ the ANS pick)
+//	GET  /v1/healthz    — liveness
+//
+// Requests carry the network inline (the roadnet JSON schema). The
+// service is stateless; every request is independent.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"roadpart/internal/core"
+	"roadpart/internal/metrics"
+	"roadpart/internal/render"
+	"roadpart/internal/roadnet"
+)
+
+// maxBodyBytes bounds request bodies (a 100k-segment network with
+// densities serializes well under this).
+const maxBodyBytes = 64 << 20
+
+// PartitionRequest is the body of POST /v1/partition.
+type PartitionRequest struct {
+	Network *roadnet.Network `json:"network"`
+	K       int              `json:"k"`
+	// Scheme is "AG", "NG", "ASG" or "NSG"; empty selects ASG.
+	Scheme string `json:"scheme,omitempty"`
+	// StabilityEps is the supernode stability threshold (0 = off).
+	StabilityEps float64 `json:"stability_eps,omitempty"`
+	// Refine applies α-Cut boundary refinement.
+	Refine bool   `json:"refine,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+}
+
+// PartitionResponse is the body of a successful partition call.
+type PartitionResponse struct {
+	Assign  []int          `json:"assign"`
+	K       int            `json:"k"`
+	Report  metrics.Report `json:"report"`
+	Timing  TimingJSON     `json:"timing"`
+	Elapsed string         `json:"elapsed"`
+}
+
+// TimingJSON is the module breakdown in milliseconds.
+type TimingJSON struct {
+	Module1Ms float64 `json:"module1_ms"`
+	Module2Ms float64 `json:"module2_ms"`
+	Module3Ms float64 `json:"module3_ms"`
+	TotalMs   float64 `json:"total_ms"`
+}
+
+// SweepRequest is the body of POST /v1/sweep.
+type SweepRequest struct {
+	Network *roadnet.Network `json:"network"`
+	KMin    int              `json:"k_min"`
+	KMax    int              `json:"k_max"`
+	Scheme  string           `json:"scheme,omitempty"`
+	Seed    uint64           `json:"seed,omitempty"`
+}
+
+// SweepResponse reports per-k quality and the ANS-minimum selection.
+type SweepResponse struct {
+	BestK  int              `json:"best_k"`
+	Points []SweepPointJSON `json:"points"`
+}
+
+// SweepPointJSON is one k of a sweep.
+type SweepPointJSON struct {
+	K      int            `json:"k"`
+	Report metrics.Report `json:"report"`
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// New returns the service's HTTP handler.
+func New() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", handleHealth)
+	mux.HandleFunc("/v1/partition", handlePartition)
+	mux.HandleFunc("/v1/sweep", handleSweep)
+	mux.HandleFunc("/v1/render", handleRender)
+	return mux
+}
+
+// RenderRequest is the body of POST /v1/render: a network plus an
+// optional assignment. The response is image/svg+xml — partitions when an
+// assignment is given, densities otherwise.
+type RenderRequest struct {
+	Network *roadnet.Network `json:"network"`
+	Assign  []int            `json:"assign,omitempty"`
+	Title   string           `json:"title,omitempty"`
+}
+
+func handleRender(w http.ResponseWriter, r *http.Request) {
+	var req RenderRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Network == nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing network"))
+		return
+	}
+	if err := req.Network.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Assign != nil && len(req.Assign) != len(req.Network.Segments) {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("%d assignments for %d segments", len(req.Assign), len(req.Network.Segments)))
+		return
+	}
+	// Render into memory first so failures still produce a clean error
+	// response instead of a truncated SVG.
+	var buf bytes.Buffer
+	var err error
+	if req.Assign != nil {
+		err = render.Partitions(&buf, req.Network, req.Assign, render.Options{Title: req.Title})
+	} else {
+		err = render.Densities(&buf, req.Network, render.Options{Title: req.Title})
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	w.WriteHeader(http.StatusOK)
+	_, _ = buf.WriteTo(w)
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func handlePartition(w http.ResponseWriter, r *http.Request) {
+	var req PartitionRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	cfg, err := buildConfig(req.Scheme, req.Seed)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg.K = req.K
+	cfg.StabilityEps = req.StabilityEps
+	cfg.Refine = req.Refine
+	if req.Network == nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing network"))
+		return
+	}
+	if err := req.Network.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	t0 := time.Now()
+	res, err := core.Partition(req.Network, cfg)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PartitionResponse{
+		Assign: res.Assign,
+		K:      res.K,
+		Report: res.Report,
+		Timing: TimingJSON{
+			Module1Ms: ms(res.Timing.Module1),
+			Module2Ms: ms(res.Timing.Module2),
+			Module3Ms: ms(res.Timing.Module3),
+			TotalMs:   ms(res.Timing.Total),
+		},
+		Elapsed: time.Since(t0).String(),
+	})
+}
+
+func handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	cfg, err := buildConfig(req.Scheme, req.Seed)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Network == nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing network"))
+		return
+	}
+	if err := req.Network.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := core.NewPipeline(req.Network, cfg)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	kMin, kMax := req.KMin, req.KMax
+	if kMin == 0 {
+		kMin = 2
+	}
+	if kMax == 0 {
+		kMax = 10
+	}
+	if p.SG != nil && kMax > len(p.SG.Nodes) {
+		kMax = len(p.SG.Nodes)
+	}
+	if kMax < kMin {
+		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("network supports no k in [%d,%d]", req.KMin, req.KMax))
+		return
+	}
+	best, sweep, err := p.BestKByANS(kMin, kMax)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := SweepResponse{BestK: best}
+	for _, pt := range sweep {
+		resp.Points = append(resp.Points, SweepPointJSON{K: pt.K, Report: pt.Result.Report})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func buildConfig(scheme string, seed uint64) (core.Config, error) {
+	cfg := core.Config{Seed: seed}
+	switch scheme {
+	case "", "ASG":
+		cfg.Scheme = core.ASG
+	case "AG":
+		cfg.Scheme = core.AG
+	case "NG":
+		cfg.Scheme = core.NG
+	case "NSG":
+		cfg.Scheme = core.NSG
+	default:
+		return cfg, fmt.Errorf("unknown scheme %q (want AG, NG, ASG or NSG)", scheme)
+	}
+	return cfg, nil
+}
+
+// readJSON decodes the request body, writing the error response itself
+// and returning false on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

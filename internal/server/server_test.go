@@ -1,0 +1,218 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"roadpart/internal/gen"
+	"roadpart/internal/roadnet"
+	"roadpart/internal/traffic"
+)
+
+func testNet(t *testing.T) *roadnet.Network {
+	t.Helper()
+	net, err := gen.City(gen.CityConfig{TargetIntersections: 100, TargetSegments: 180, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := traffic.SyntheticField(net, traffic.FieldConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traffic.ApplySnapshot(net, snap); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func post(t *testing.T, srv http.Handler, path string, body interface{}) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, &buf)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	srv := New()
+	req := httptest.NewRequest(http.MethodGet, "/v1/healthz", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatal("healthz body wrong")
+	}
+	// Wrong method.
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/healthz", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST healthz status = %d", rec.Code)
+	}
+}
+
+func TestPartitionEndpoint(t *testing.T) {
+	srv := New()
+	net := testNet(t)
+	rec := post(t, srv, "/v1/partition", PartitionRequest{Network: net, K: 3, Scheme: "AG", Seed: 1})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", rec.Code, rec.Body.String())
+	}
+	var resp PartitionResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.K != 3 {
+		t.Fatalf("K = %d, want 3", resp.K)
+	}
+	if len(resp.Assign) != len(net.Segments) {
+		t.Fatalf("assign covers %d of %d segments", len(resp.Assign), len(net.Segments))
+	}
+	if resp.Report.ANS <= 0 {
+		t.Fatalf("report missing: %+v", resp.Report)
+	}
+	if resp.Timing.TotalMs <= 0 {
+		t.Fatal("timing missing")
+	}
+}
+
+func TestPartitionEndpointDeterministic(t *testing.T) {
+	srv := New()
+	net := testNet(t)
+	body := PartitionRequest{Network: net, K: 3, Scheme: "AG", Seed: 9}
+	a := post(t, srv, "/v1/partition", body)
+	b := post(t, srv, "/v1/partition", body)
+	var ra, rb PartitionResponse
+	json.Unmarshal(a.Body.Bytes(), &ra)
+	json.Unmarshal(b.Body.Bytes(), &rb)
+	for i := range ra.Assign {
+		if ra.Assign[i] != rb.Assign[i] {
+			t.Fatal("service should be deterministic in seed")
+		}
+	}
+}
+
+func TestPartitionEndpointErrors(t *testing.T) {
+	srv := New()
+	net := testNet(t)
+	cases := []struct {
+		name string
+		body interface{}
+		want int
+	}{
+		{"missing network", PartitionRequest{K: 3}, http.StatusBadRequest},
+		{"bad scheme", PartitionRequest{Network: net, K: 3, Scheme: "XX"}, http.StatusBadRequest},
+		{"bad k", PartitionRequest{Network: net, K: -1}, http.StatusUnprocessableEntity},
+		{"unknown field", map[string]interface{}{"nope": 1}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec := post(t, srv, "/v1/partition", c.body)
+		if rec.Code != c.want {
+			t.Errorf("%s: status = %d, want %d (%s)", c.name, rec.Code, c.want, rec.Body.String())
+		}
+		if !strings.Contains(rec.Body.String(), "error") {
+			t.Errorf("%s: missing error envelope", c.name)
+		}
+	}
+	// Invalid network payload.
+	bad := testNet(t)
+	bad.Segments[0].Length = -1
+	rec := post(t, srv, "/v1/partition", PartitionRequest{Network: bad, K: 2})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("invalid network: status = %d", rec.Code)
+	}
+	// GET not allowed.
+	get := httptest.NewRecorder()
+	srv.ServeHTTP(get, httptest.NewRequest(http.MethodGet, "/v1/partition", nil))
+	if get.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET partition: status = %d", get.Code)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	srv := New()
+	net := testNet(t)
+	rec := post(t, srv, "/v1/sweep", SweepRequest{Network: net, KMin: 2, KMax: 5, Scheme: "ASG", Seed: 1})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", rec.Code, rec.Body.String())
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) == 0 {
+		t.Fatal("no sweep points")
+	}
+	if resp.BestK < 2 || resp.BestK > 5 {
+		t.Fatalf("best k = %d", resp.BestK)
+	}
+	// BestK must be the ANS minimum among the points.
+	var bestANS float64
+	for _, p := range resp.Points {
+		if p.K == resp.BestK {
+			bestANS = p.Report.ANS
+		}
+	}
+	for _, p := range resp.Points {
+		if p.Report.ANS < bestANS {
+			t.Fatal("best_k is not the ANS minimum")
+		}
+	}
+}
+
+func TestRenderEndpoint(t *testing.T) {
+	srv := New()
+	net := testNet(t)
+	// Densities view.
+	rec := post(t, srv, "/v1/render", RenderRequest{Network: net, Title: "densities"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "image/svg+xml" {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "<svg") {
+		t.Fatal("no SVG in body")
+	}
+	// Partition view.
+	assign := make([]int, len(net.Segments))
+	for i := range assign {
+		assign[i] = i % 3
+	}
+	rec = post(t, srv, "/v1/render", RenderRequest{Network: net, Assign: assign})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("partition render status = %d", rec.Code)
+	}
+	// Wrong-length assignment.
+	rec = post(t, srv, "/v1/render", RenderRequest{Network: net, Assign: []int{1}})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad assignment status = %d", rec.Code)
+	}
+	// Missing network.
+	rec = post(t, srv, "/v1/render", RenderRequest{})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing network status = %d", rec.Code)
+	}
+}
+
+func TestSweepEndpointDefaultsAndErrors(t *testing.T) {
+	srv := New()
+	net := testNet(t)
+	rec := post(t, srv, "/v1/sweep", SweepRequest{Network: net})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("defaults: status = %d (%s)", rec.Code, rec.Body.String())
+	}
+	rec = post(t, srv, "/v1/sweep", SweepRequest{})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing network: status = %d", rec.Code)
+	}
+}

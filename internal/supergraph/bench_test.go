@@ -1,0 +1,43 @@
+package supergraph
+
+import (
+	"testing"
+
+	"roadpart/internal/graph"
+)
+
+// benchGraph builds a 10k-node ring with 8 density stripes.
+func benchGraph() (*graph.Graph, []float64) {
+	const n = 10000
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, 1)
+	}
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = float64(i/(n/8)) + float64(i%13)/1000
+	}
+	return g, f
+}
+
+func BenchmarkMine10k(b *testing.B) {
+	g, f := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine(g, f, MineOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStabilityProfile(b *testing.B) {
+	g, f := benchGraph()
+	sg, err := Mine(g, f, MineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sg.StabilityProfile(f)
+	}
+}

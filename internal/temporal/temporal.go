@@ -1,0 +1,280 @@
+// Package temporal implements repeated congestion-based re-partitioning
+// over time, including the distributed regime the paper proposes in
+// Section 6.4: partition the whole network once, then re-partition each
+// resulting region independently as congestion evolves — cheap enough for
+// real time once regions are M1-sized or smaller.
+package temporal
+
+import (
+	"fmt"
+	"time"
+
+	"roadpart/internal/core"
+	"roadpart/internal/graph"
+	"roadpart/internal/metrics"
+	"roadpart/internal/roadnet"
+	"roadpart/internal/traffic"
+)
+
+// Mode selects the re-partitioning regime.
+type Mode int
+
+const (
+	// ModeGlobal re-partitions the full network at every timestamp.
+	ModeGlobal Mode = iota
+	// ModeDistributed partitions the full network once, then
+	// re-partitions each region independently on later snapshots
+	// (Section 6.4's proposal for real-time use).
+	ModeDistributed
+)
+
+// Config tunes the tracker.
+type Config struct {
+	// Scheme is the partitioning scheme for every (re-)partition.
+	Scheme core.Scheme
+	// K fixes the global partition count; 0 selects it by the ANS
+	// minimum over [2, KMax].
+	K int
+	// KMax bounds automatic k selection. 0 selects 10.
+	KMax int
+	// SubKMax bounds the per-region split in distributed mode (each
+	// region may re-split into up to SubKMax parts, or stay whole when
+	// no split scores below KeepANS). 0 selects 4.
+	SubKMax int
+	// KeepANS is the ANS threshold above which a region refuses to
+	// re-split (its best split has too little contrast). 0 selects 0.8.
+	KeepANS float64
+	// Seed drives all randomized stages.
+	Seed uint64
+}
+
+func (c *Config) defaults() {
+	if c.KMax == 0 {
+		c.KMax = 10
+	}
+	if c.SubKMax == 0 {
+		c.SubKMax = 4
+	}
+	if c.KeepANS == 0 {
+		c.KeepANS = 0.8
+	}
+}
+
+// Frame is the partitioning state at one timestamp.
+type Frame struct {
+	// Index of the snapshot this frame was computed from.
+	Snapshot int
+	// Assign is the partition per road segment.
+	Assign []int
+	// K is the partition count.
+	K int
+	// Report carries the quality metrics under this frame's densities.
+	Report metrics.Report
+	// ARIvsPrev measures agreement with the previous frame's partition
+	// (1 on the first frame).
+	ARIvsPrev float64
+	// Elapsed is the wall-clock cost of producing this frame.
+	Elapsed time.Duration
+}
+
+// Run re-partitions net for each of the selected snapshot indices and
+// returns one frame per index, in order.
+func Run(net *roadnet.Network, snaps []traffic.Snapshot, at []int, mode Mode, cfg Config) ([]Frame, error) {
+	cfg.defaults()
+	if len(at) == 0 {
+		return nil, fmt.Errorf("temporal: no snapshot indices")
+	}
+	for _, t := range at {
+		if t < 0 || t >= len(snaps) {
+			return nil, fmt.Errorf("temporal: snapshot index %d outside %d snapshots", t, len(snaps))
+		}
+	}
+	g, err := roadnet.DualGraph(net)
+	if err != nil {
+		return nil, err
+	}
+
+	var frames []Frame
+	var prev, seedAssign []int
+	for i, t := range at {
+		f := []float64(snaps[t])
+		t0 := time.Now()
+		var assign []int
+		if mode == ModeDistributed && i > 0 {
+			// Re-partition the seed frame's regions, not the previous
+			// refinement — otherwise splits compound round over round.
+			assign, err = repartitionRegions(g, f, seedAssign, cfg)
+		} else {
+			assign, err = partitionGlobal(g, f, cfg)
+			if i == 0 {
+				seedAssign = assign
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("temporal: snapshot %d: %w", t, err)
+		}
+		elapsed := time.Since(t0)
+
+		rep, err := metrics.Evaluate(f, assign, g)
+		if err != nil {
+			return nil, err
+		}
+		ari := 1.0
+		if prev != nil {
+			if ari, err = metrics.ARI(prev, assign); err != nil {
+				return nil, err
+			}
+		}
+		frames = append(frames, Frame{
+			Snapshot:  t,
+			Assign:    assign,
+			K:         rep.K,
+			Report:    rep,
+			ARIvsPrev: ari,
+			Elapsed:   elapsed,
+		})
+		prev = assign
+	}
+	return frames, nil
+}
+
+// partitionGlobal partitions the whole graph, selecting k automatically
+// when cfg.K is zero.
+func partitionGlobal(g *graph.Graph, f []float64, cfg Config) ([]int, error) {
+	p, err := core.NewPipelineFromGraph(g, f, core.Config{Scheme: cfg.Scheme, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	k := cfg.K
+	max := cap_(p, cfg.KMax)
+	if k == 0 {
+		if max < 2 {
+			k = 1
+		} else {
+			best, _, err := p.BestKByANS(2, max)
+			if err != nil {
+				return nil, err
+			}
+			k = best
+		}
+	} else if k > max {
+		k = max
+	}
+	res, err := p.PartitionK(k)
+	if err != nil {
+		return nil, err
+	}
+	return res.Assign, nil
+}
+
+// repartitionRegions re-partitions every region of the previous frame
+// independently under the new densities and stitches the results into a
+// global labeling — the distributed regime.
+func repartitionRegions(g *graph.Graph, f []float64, prev []int, cfg Config) ([]int, error) {
+	regions := map[int][]int{}
+	for v, l := range prev {
+		regions[l] = append(regions[l], v)
+	}
+	out := make([]int, len(prev))
+	next := 0
+	for l := 0; l < len(regions); l++ {
+		members := regions[l]
+		sub, orig, err := g.Induced(members)
+		if err != nil {
+			return nil, err
+		}
+		subF := make([]float64, len(members))
+		for i, v := range orig {
+			subF[i] = f[v]
+		}
+		local, err := splitRegion(sub, subF, cfg)
+		if err != nil {
+			return nil, err
+		}
+		maxLocal := 0
+		for i, v := range orig {
+			out[v] = next + local[i]
+			if local[i] > maxLocal {
+				maxLocal = local[i]
+			}
+		}
+		next += maxLocal + 1
+	}
+	return out, nil
+}
+
+// splitRegion partitions one region's subgraph into up to SubKMax parts,
+// keeping it whole when the best split's ANS exceeds KeepANS.
+func splitRegion(sub *graph.Graph, f []float64, cfg Config) ([]int, error) {
+	if sub.N() < 4 {
+		return make([]int, sub.N()), nil
+	}
+	p, err := core.NewPipelineFromGraph(sub, f, core.Config{Scheme: cfg.Scheme, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	max := cap_(p, cfg.SubKMax)
+	if max < 2 {
+		return make([]int, sub.N()), nil
+	}
+	best, sweep, err := p.BestKByANS(2, max)
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range sweep {
+		if pt.K == best {
+			if pt.Result.Report.ANS > cfg.KeepANS {
+				return make([]int, sub.N()), nil // no worthwhile split
+			}
+			return pt.Result.Assign, nil
+		}
+	}
+	return make([]int, sub.N()), nil
+}
+
+// RegionSeries tracks one frame's regions across the whole snapshot
+// sequence: the mean density of each region of frame `ref` at every
+// timestamp. It answers the introduction's analysis question — how does
+// congestion inside each identified region evolve over time?
+func RegionSeries(frames []Frame, snaps []traffic.Snapshot, ref int) ([][]float64, error) {
+	if ref < 0 || ref >= len(frames) {
+		return nil, fmt.Errorf("temporal: reference frame %d outside %d frames", ref, len(frames))
+	}
+	assign := frames[ref].Assign
+	k := frames[ref].K
+	sizes := make([]int, k)
+	for _, p := range assign {
+		if p < 0 || p >= k {
+			return nil, fmt.Errorf("temporal: frame labels inconsistent with K=%d", k)
+		}
+		sizes[p]++
+	}
+	series := make([][]float64, k)
+	for r := range series {
+		series[r] = make([]float64, len(snaps))
+	}
+	for t, snap := range snaps {
+		if len(snap) != len(assign) {
+			return nil, fmt.Errorf("temporal: snapshot %d has %d segments, frame has %d", t, len(snap), len(assign))
+		}
+		for seg, p := range assign {
+			series[p][t] += snap[seg]
+		}
+		for r := 0; r < k; r++ {
+			series[r][t] /= float64(sizes[r])
+		}
+	}
+	return series, nil
+}
+
+// cap_ clamps a requested k to what the pipeline supports (supernode
+// count for supergraph schemes, node count otherwise).
+func cap_(p *core.Pipeline, k int) int {
+	if p.SG != nil && len(p.SG.Nodes) < k {
+		k = len(p.SG.Nodes)
+	}
+	if p.G.N() < k {
+		k = p.G.N()
+	}
+	return k
+}

@@ -1,0 +1,33 @@
+package traffic
+
+import "fmt"
+
+// TimeAverage returns the element-wise mean of the last window snapshots
+// (all of them when window <= 0 or exceeds the count). Instantaneous
+// vehicle counts on short segments are shot-noise dominated; averaging over
+// a time window recovers the underlying spatial congestion structure, the
+// same way a real detector reports occupancy over an interval rather than
+// an instant.
+func TimeAverage(snaps []Snapshot, window int) (Snapshot, error) {
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("traffic: no snapshots to average")
+	}
+	if window <= 0 || window > len(snaps) {
+		window = len(snaps)
+	}
+	use := snaps[len(snaps)-window:]
+	n := len(use[0])
+	out := make(Snapshot, n)
+	for _, s := range use {
+		if len(s) != n {
+			return nil, fmt.Errorf("traffic: snapshot lengths differ (%d vs %d)", len(s), n)
+		}
+		for i, v := range s {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(window)
+	}
+	return out, nil
+}

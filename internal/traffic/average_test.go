@@ -1,0 +1,42 @@
+package traffic
+
+import "testing"
+
+func TestTimeAverageBasic(t *testing.T) {
+	snaps := []Snapshot{{1, 2}, {3, 4}, {5, 6}}
+	avg, err := TimeAverage(snaps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg[0] != 3 || avg[1] != 4 {
+		t.Fatalf("avg = %v, want [3 4]", avg)
+	}
+}
+
+func TestTimeAverageWindow(t *testing.T) {
+	snaps := []Snapshot{{10, 10}, {1, 2}, {3, 4}}
+	avg, err := TimeAverage(snaps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg[0] != 2 || avg[1] != 3 {
+		t.Fatalf("windowed avg = %v, want [2 3]", avg)
+	}
+	// Oversized window falls back to everything.
+	avg, err = TimeAverage(snaps, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg[0] != 14.0/3 {
+		t.Fatalf("oversized window avg = %v", avg)
+	}
+}
+
+func TestTimeAverageErrors(t *testing.T) {
+	if _, err := TimeAverage(nil, 1); err == nil {
+		t.Fatal("empty snapshot list should error")
+	}
+	if _, err := TimeAverage([]Snapshot{{1}, {1, 2}}, 0); err == nil {
+		t.Fatal("ragged snapshots should error")
+	}
+}

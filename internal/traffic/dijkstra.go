@@ -1,0 +1,105 @@
+// Package traffic populates road networks with congestion.
+//
+// The paper's large datasets carry densities produced by MNTG, a web-based
+// random-traffic generator whose trajectories the authors mapped onto road
+// segments; its small dataset comes from a 4-hour microsimulation. Neither
+// tool is available offline, so this package provides the equivalent
+// substrate:
+//
+//   - Simulate: a time-stepped microsimulation of vehicles doing
+//     attractor-biased random walks (MNTG's random movement, plus the
+//     hotspot structure real cities exhibit), with congestion-dependent
+//     speeds, producing per-segment densities (vehicles/metre) at every
+//     recorded timestamp.
+//   - SyntheticField: a fast closed-form density field (Gaussian hotspots
+//     over the city plane plus noise) for the largest parameter sweeps.
+//   - ShortestPath: Dijkstra routing over directed segments, used by the
+//     origin–destination trip mode of the simulator and exported for
+//     example applications.
+package traffic
+
+import (
+	"container/heap"
+	"fmt"
+
+	"roadpart/internal/roadnet"
+)
+
+// ShortestPath returns the segment IDs of a shortest (by length) directed
+// route from intersection `from` to intersection `to`, or an error if no
+// route exists. Dijkstra with a binary heap, O((V+E) log V).
+func ShortestPath(net *roadnet.Network, from, to int) ([]int, error) {
+	ni := len(net.Intersections)
+	if from < 0 || from >= ni || to < 0 || to >= ni {
+		return nil, fmt.Errorf("traffic: route endpoints (%d,%d) outside %d intersections", from, to, ni)
+	}
+	if from == to {
+		return nil, nil
+	}
+	out := net.OutSegments()
+
+	const unreached = -1
+	dist := make([]float64, ni)
+	via := make([]int, ni) // segment used to reach each intersection
+	done := make([]bool, ni)
+	for i := range dist {
+		dist[i] = -1
+		via[i] = unreached
+	}
+	dist[from] = 0
+
+	pq := &distHeap{items: []distItem{{node: from, d: 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		if it.node == to {
+			break
+		}
+		for _, segID := range out[it.node] {
+			s := net.Segments[segID]
+			nd := it.d + s.Length
+			if dist[s.To] < 0 || nd < dist[s.To] {
+				dist[s.To] = nd
+				via[s.To] = segID
+				heap.Push(pq, distItem{node: s.To, d: nd})
+			}
+		}
+	}
+	if via[to] == unreached {
+		return nil, fmt.Errorf("traffic: no route from %d to %d", from, to)
+	}
+	// Reconstruct backwards.
+	var rev []int
+	for at := to; at != from; {
+		seg := via[at]
+		rev = append(rev, seg)
+		at = net.Segments[seg].From
+	}
+	route := make([]int, len(rev))
+	for i := range rev {
+		route[i] = rev[len(rev)-1-i]
+	}
+	return route, nil
+}
+
+type distItem struct {
+	node int
+	d    float64
+}
+
+type distHeap struct{ items []distItem }
+
+func (h *distHeap) Len() int           { return len(h.items) }
+func (h *distHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *distHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *distHeap) Push(x interface{}) { h.items = append(h.items, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

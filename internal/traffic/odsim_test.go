@@ -1,0 +1,81 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"roadpart/internal/gen"
+	"roadpart/internal/roadnet"
+)
+
+func TestSimulateODConservesVehicles(t *testing.T) {
+	net := testCity(t)
+	snaps, err := SimulateOD(net, ODConfig{Vehicles: 200, Steps: 120, RecordEvery: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 6 {
+		t.Fatalf("snapshots = %d, want 6", len(snaps))
+	}
+	for si, snap := range snaps {
+		var total float64
+		for i, d := range snap {
+			if d < 0 || math.IsNaN(d) {
+				t.Fatalf("snapshot %d has invalid density %v", si, d)
+			}
+			total += d * net.Segments[i].Length
+		}
+		if math.Abs(total-200) > 1e-6 {
+			t.Fatalf("snapshot %d vehicle mass = %v, want 200", si, total)
+		}
+	}
+}
+
+func TestSimulateODDeterministic(t *testing.T) {
+	net := testCity(t)
+	a, err := SimulateOD(net, ODConfig{Vehicles: 80, Steps: 60, RecordEvery: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateOD(net, ODConfig{Vehicles: 80, Steps: 60, RecordEvery: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a[0] {
+		if a[0][i] != b[0][i] {
+			t.Fatal("OD simulation should be deterministic in seed")
+		}
+	}
+}
+
+func TestSimulateODConcentratesFlow(t *testing.T) {
+	// Hotspot-biased trips should produce an uneven density field.
+	net, err := gen.City(gen.CityConfig{TargetIntersections: 200, TargetSegments: 420, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := SimulateOD(net, ODConfig{Vehicles: 600, Steps: 250, RecordEvery: 250, Hotspots: 2, HotspotBias: 0.8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := snaps[len(snaps)-1]
+	var mean float64
+	for _, v := range d {
+		mean += v
+	}
+	mean /= float64(len(d))
+	var variance float64
+	for _, v := range d {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(d))
+	if cv := math.Sqrt(variance) / mean; cv < 0.5 {
+		t.Fatalf("OD traffic too flat: cv = %v", cv)
+	}
+}
+
+func TestSimulateODErrors(t *testing.T) {
+	if _, err := SimulateOD(&roadnet.Network{}, ODConfig{}); err == nil {
+		t.Fatal("empty network should error")
+	}
+}

@@ -1,0 +1,257 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"roadpart/internal/gen"
+	"roadpart/internal/roadnet"
+)
+
+// Snapshot is a per-segment density vector (vehicles/metre) at one
+// timestamp.
+type Snapshot []float64
+
+// SimConfig tunes the microsimulation. Zero fields select defaults.
+type SimConfig struct {
+	// Vehicles is the fleet size. 0 selects one vehicle per 2 segments.
+	Vehicles int
+	// Steps is the number of simulation ticks. 0 selects 600.
+	Steps int
+	// RecordEvery records a density snapshot every that many ticks.
+	// 0 selects Steps/100 (≥1), giving ~100 snapshots like MNTG's
+	// 100 timestamps.
+	RecordEvery int
+	// Dt is the tick length in seconds. 0 selects 2.
+	Dt float64
+	// VMax is the free-flow speed in m/s. 0 selects 14 (~50 km/h).
+	VMax float64
+	// VMin is the crawl speed in m/s under full jam. 0 selects 1.
+	VMin float64
+	// RhoJam is the jam density in vehicles/metre. 0 selects 0.15
+	// (~one vehicle per 6.7 m of road).
+	RhoJam float64
+	// Hotspots is the number of attractor points pulling traffic.
+	// 0 selects 4. Hotspot gravity is what creates the spatially
+	// heterogeneous congestion the partitioners must discover.
+	Hotspots int
+	// WanderFrac is the fraction of the fleet that ignores hotspots and
+	// random-walks uniformly, providing the background traffic every road
+	// sees in a real city. 0 selects 0.3; use a negative value for none.
+	WanderFrac float64
+	// Outbound reverses the hotspot gravity: vehicles flee their
+	// attractor instead of approaching it — evening rush flowing from the
+	// centre to the outskirts, the directional asymmetry Section 2.1
+	// motivates modelling the two directions of a road separately for.
+	Outbound bool
+	// Seed drives fleet placement and turn choices.
+	Seed uint64
+}
+
+func (c *SimConfig) defaults(nSeg int) {
+	if c.Vehicles == 0 {
+		c.Vehicles = nSeg / 2
+		if c.Vehicles < 10 {
+			c.Vehicles = 10
+		}
+	}
+	if c.Steps == 0 {
+		c.Steps = 600
+	}
+	if c.RecordEvery == 0 {
+		c.RecordEvery = c.Steps / 100
+		if c.RecordEvery < 1 {
+			c.RecordEvery = 1
+		}
+	}
+	if c.Dt == 0 {
+		c.Dt = 2
+	}
+	if c.VMax == 0 {
+		c.VMax = 14
+	}
+	if c.VMin == 0 {
+		c.VMin = 1
+	}
+	if c.RhoJam == 0 {
+		c.RhoJam = 0.15
+	}
+	if c.Hotspots == 0 {
+		c.Hotspots = 4
+	}
+	if c.WanderFrac == 0 {
+		c.WanderFrac = 0.3
+	} else if c.WanderFrac < 0 {
+		c.WanderFrac = 0
+	}
+}
+
+// vehicle is one simulated car: the segment it is on, how far along it is,
+// and the hotspot it is currently drawn to (-1 for wanderers that turn
+// uniformly at random).
+type vehicle struct {
+	seg     int
+	pos     float64
+	attract int
+}
+
+// Simulate runs the microsimulation and returns the recorded snapshots in
+// time order. Densities are vehicles per metre per segment. The simulation
+// is deterministic in cfg.Seed.
+//
+// Dynamics: each vehicle moves at the Greenshields speed
+// v = max(VMin, VMax·(1−ρ/ρ_jam)) of its current segment, where ρ is the
+// segment's instantaneous density. At an intersection it picks the outgoing
+// segment whose far end is closest to its attractor with high probability
+// (softmax over negative distance), occasionally wandering — a biased
+// random walk, which is MNTG's movement model plus hotspot gravity.
+func Simulate(net *roadnet.Network, cfg SimConfig) ([]Snapshot, error) {
+	var snaps []Snapshot
+	err := simulate(net, &cfg, func(recordIdx int, fleet []vehicle, count []int) {
+		snap := make(Snapshot, len(count))
+		for i, c := range count {
+			snap[i] = float64(c) / net.Segments[i].Length
+		}
+		snaps = append(snaps, snap)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return snaps, nil
+}
+
+// simulate is the shared integrator behind Simulate and
+// SimulateTrajectories: it runs the fleet and invokes onRecord at every
+// recording instant with the live fleet and per-segment vehicle counts.
+func simulate(net *roadnet.Network, cfg *SimConfig, onRecord func(recordIdx int, fleet []vehicle, count []int)) error {
+	nSeg := len(net.Segments)
+	if nSeg == 0 {
+		return fmt.Errorf("traffic: network has no segments")
+	}
+	cfg.defaults(nSeg)
+	rng := gen.NewRNG(cfg.Seed)
+	out := net.OutSegments()
+
+	// Dead-end intersections (no outgoing segments) teleport the vehicle;
+	// precompute to avoid per-tick checks.
+	// Hotspot positions: random intersections, biased toward the center by
+	// averaging with the centroid so the "city core" attracts.
+	var cx, cy float64
+	for _, p := range net.Intersections {
+		cx += p.X
+		cy += p.Y
+	}
+	cx /= float64(len(net.Intersections))
+	cy /= float64(len(net.Intersections))
+	type point struct{ x, y float64 }
+	hot := make([]point, cfg.Hotspots)
+	for i := range hot {
+		p := net.Intersections[rng.Intn(len(net.Intersections))]
+		hot[i] = point{x: (p.X + cx) / 2, y: (p.Y + cy) / 2}
+	}
+
+	// Fleet: vehicles start on random segments, each pulled to a random
+	// hotspot; popular hotspots get more vehicles (Zipf-ish weighting).
+	count := make([]int, nSeg) // vehicles currently on each segment
+	fleet := make([]vehicle, cfg.Vehicles)
+	for i := range fleet {
+		seg := rng.Intn(nSeg)
+		// min of two draws biases the fleet toward low-index hotspots so
+		// some hotspots are busier than others, as in real cities.
+		a, b := rng.Intn(cfg.Hotspots), rng.Intn(cfg.Hotspots)
+		if b < a {
+			a = b
+		}
+		if rng.Bool(cfg.WanderFrac) {
+			a = -1 // background traffic: uniform random walk
+		}
+		fleet[i] = vehicle{seg: seg, pos: rng.Float64() * net.Segments[seg].Length, attract: a}
+		count[seg]++
+	}
+
+	endX := make([]float64, nSeg)
+	endY := make([]float64, nSeg)
+	for i, s := range net.Segments {
+		endX[i] = net.Intersections[s.To].X
+		endY[i] = net.Intersections[s.To].Y
+	}
+
+	recordIdx := 0
+	record := func() {
+		onRecord(recordIdx, fleet, count)
+		recordIdx++
+	}
+
+	for step := 1; step <= cfg.Steps; step++ {
+		for vi := range fleet {
+			v := &fleet[vi]
+			s := &net.Segments[v.seg]
+			rho := float64(count[v.seg]) / s.Length
+			speed := cfg.VMax * (1 - rho/cfg.RhoJam)
+			if speed < cfg.VMin {
+				speed = cfg.VMin
+			}
+			v.pos += speed * cfg.Dt
+			if v.pos < s.Length {
+				continue
+			}
+			// Reached the far intersection: choose the next segment.
+			choices := out[s.To]
+			count[v.seg]--
+			if len(choices) == 0 {
+				// Dead end: restart somewhere random.
+				v.seg = rng.Intn(nSeg)
+				v.pos = 0
+				count[v.seg]++
+				continue
+			}
+			next := choices[0]
+			if len(choices) > 1 {
+				if v.attract >= 0 && rng.Bool(0.85) {
+					// Head toward the attractor (or directly away from it
+					// in Outbound mode): pick the choice whose far end is
+					// nearest (farthest).
+					h := hot[v.attract]
+					best, bestD := -1, math.Inf(1)
+					if cfg.Outbound {
+						bestD = -1
+					}
+					for _, c := range choices {
+						if c == v.seg { // avoid immediate U-turns when possible
+							continue
+						}
+						dx, dy := endX[c]-h.x, endY[c]-h.y
+						d := dx*dx + dy*dy
+						if (!cfg.Outbound && d < bestD) || (cfg.Outbound && d > bestD) {
+							best, bestD = c, d
+						}
+					}
+					if best >= 0 {
+						next = best
+					}
+				} else {
+					next = choices[rng.Intn(len(choices))]
+				}
+			}
+			// Occasionally retarget, so traffic keeps circulating.
+			if v.attract >= 0 && rng.Bool(0.02) {
+				v.attract = rng.Intn(cfg.Hotspots)
+			}
+			v.seg = next
+			v.pos = 0
+			count[next]++
+		}
+		if step%cfg.RecordEvery == 0 {
+			record()
+		}
+	}
+	if recordIdx == 0 {
+		record()
+	}
+	return nil
+}
+
+// ApplySnapshot writes snapshot densities into the network's segments.
+func ApplySnapshot(net *roadnet.Network, s Snapshot) error {
+	return net.SetDensities(s)
+}

@@ -1,0 +1,55 @@
+package traffic
+
+import (
+	"roadpart/internal/gen"
+	"roadpart/internal/roadnet"
+)
+
+// TrajPoint is one sampled vehicle position: planar coordinates at a
+// recording instant. GPS noise, when requested, is already applied.
+type TrajPoint struct {
+	X, Y float64
+	// T is the recording index (0, 1, 2, …), one per RecordEvery ticks.
+	T int
+}
+
+// Trajectory is one vehicle's ordered samples across the simulation.
+type Trajectory []TrajPoint
+
+// SimulateTrajectories runs the same microsimulation as Simulate but
+// returns raw vehicle trajectories instead of densities — the form MNTG
+// delivered its output in, ready for the mapmatch package to turn back
+// into per-segment densities. gpsNoise adds zero-mean uniform position
+// error of that many metres in each axis (0 for exact positions).
+//
+// The trajectory of vehicle v is the v-th element of the result; every
+// trajectory has one sample per recording instant.
+func SimulateTrajectories(net *roadnet.Network, cfg SimConfig, gpsNoise float64) ([]Trajectory, error) {
+	noiseRng := gen.NewRNG(cfg.Seed ^ 0xfeedfeed)
+	var trajs []Trajectory
+	err := simulate(net, &cfg, func(recordIdx int, fleet []vehicle, count []int) {
+		if trajs == nil {
+			trajs = make([]Trajectory, len(fleet))
+		}
+		for vi := range fleet {
+			v := &fleet[vi]
+			s := net.Segments[v.seg]
+			a, b := net.Intersections[s.From], net.Intersections[s.To]
+			frac := v.pos / s.Length
+			if frac > 1 {
+				frac = 1
+			}
+			x := a.X + frac*(b.X-a.X)
+			y := a.Y + frac*(b.Y-a.Y)
+			if gpsNoise > 0 {
+				x += gpsNoise * (2*noiseRng.Float64() - 1)
+				y += gpsNoise * (2*noiseRng.Float64() - 1)
+			}
+			trajs[vi] = append(trajs[vi], TrajPoint{X: x, Y: y, T: recordIdx})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return trajs, nil
+}
