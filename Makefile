@@ -1,0 +1,24 @@
+# Standard developer entry points. `make verify` is the gate a change
+# must pass before review: build, vet, the full test suite, and the race
+# detector over the whole module (short mode keeps the race pass fast).
+
+GO ?= go
+
+.PHONY: build vet test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run ^$$ .
+
+verify: build vet test race

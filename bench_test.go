@@ -7,6 +7,7 @@ package roadpart
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -85,6 +86,33 @@ func BenchmarkTable3(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSweepWorkers measures the M1-scale k-sweep — the ANS-minimum
+// selection loop, the system's hot path — at several worker counts. The
+// sub-benchmarks produce identical sweeps (the determinism guarantee), so
+// the ratio between workers=1 and workers=N is pure parallel speedup.
+func BenchmarkSweepWorkers(b *testing.B) {
+	ds, err := experiments.BuildDataset("M1", experiments.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			p, err := core.NewPipeline(ds.Net, core.Config{Scheme: core.ASG, Seed: 1, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.SweepK(2, 12); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(prefix string, n int) string { return fmt.Sprintf("%s=%d", prefix, n) }
 
 // --- ablation benchmarks (DESIGN.md §5) ---
 

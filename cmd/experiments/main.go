@@ -20,18 +20,21 @@ import (
 	"strings"
 
 	"roadpart/internal/experiments"
+	"roadpart/internal/linalg"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: all, table1, table2, table3, fig4, fig5, fig6, fig7, ablations")
-		scale = flag.String("scale", "small", "dataset scale: small or full")
-		runs  = flag.Int("runs", 0, "seeded runs per configuration (0 = experiment default)")
-		kmin  = flag.Int("kmin", 0, "minimum k (0 = paper default)")
-		kmax  = flag.Int("kmax", 0, "maximum k (0 = paper default)")
-		csvTo = flag.String("csv", "", "directory to write plot-ready CSV series into (figures only)")
+		exp     = flag.String("exp", "all", "experiment: all, table1, table2, table3, fig4, fig5, fig6, fig7, ablations")
+		scale   = flag.String("scale", "small", "dataset scale: small or full")
+		runs    = flag.Int("runs", 0, "seeded runs per configuration (0 = experiment default)")
+		kmin    = flag.Int("kmin", 0, "minimum k (0 = paper default)")
+		kmax    = flag.Int("kmax", 0, "maximum k (0 = paper default)")
+		csvTo   = flag.String("csv", "", "directory to write plot-ready CSV series into (figures only)")
+		workers = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS; medians are identical for any value)")
 	)
 	flag.Parse()
+	linalg.SetWorkers(*workers)
 	if *csvTo != "" {
 		if err := os.MkdirAll(*csvTo, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -39,7 +42,7 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Runs: *runs, KMin: *kmin, KMax: *kmax}
+	opts := experiments.Options{Runs: *runs, KMin: *kmin, KMax: *kmax, Workers: *workers}
 	switch *scale {
 	case "small":
 		opts.Scale = experiments.ScaleSmall

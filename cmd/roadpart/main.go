@@ -22,6 +22,7 @@ import (
 
 	"roadpart/internal/core"
 	"roadpart/internal/experiments"
+	"roadpart/internal/linalg"
 	"roadpart/internal/render"
 	"roadpart/internal/roadnet"
 )
@@ -37,6 +38,7 @@ func main() {
 		kmax     = flag.Int("kmax", 12, "upper bound for -autok")
 		stabEps  = flag.Float64("stability", 0, "supernode stability threshold in [0,1] (0 = off)")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS, 1 = serial; same result either way)")
 		outPath  = flag.String("out", "", "write segment,partition CSV here")
 		svgPath  = flag.String("svg", "", "write an SVG map of the partitions here")
 		geoPath  = flag.String("geojson", "", "write a GeoJSON FeatureCollection with partition properties here")
@@ -51,7 +53,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := core.Config{K: *k, Scheme: scheme, StabilityEps: *stabEps, Seed: *seed}
+	linalg.SetWorkers(*workers)
+	cfg := core.Config{K: *k, Scheme: scheme, StabilityEps: *stabEps, Seed: *seed, Workers: *workers}
 
 	p, err := core.NewPipeline(net, cfg)
 	if err != nil {

@@ -7,29 +7,67 @@
 //	POST /v1/partition  — {"network": {...}, "k": 6, "scheme": "ASG"}
 //	POST /v1/sweep      — {"network": {...}, "k_min": 2, "k_max": 12}
 //	GET  /v1/healthz
+//
+// SIGINT or SIGTERM triggers a graceful shutdown: the listener closes
+// immediately, in-flight requests get -drain to finish, then the process
+// exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"roadpart/internal/linalg"
 	"roadpart/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "default worker count for parallel stages (0 = GOMAXPROCS)")
+	drain := flag.Duration("drain", 30*time.Second, "grace period for in-flight requests on shutdown")
 	flag.Parse()
 
+	linalg.SetWorkers(*workers)
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      server.New(),
+		Handler:      server.NewWith(server.Config{Workers: *workers}),
 		ReadTimeout:  2 * time.Minute,
 		WriteTimeout: 10 * time.Minute, // large sweeps take a while
 	}
-	log.Printf("roadpartd listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("roadpartd listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		// ListenAndServe only returns on failure to serve (the graceful
+		// path goes through Shutdown below), so this is always fatal.
 		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("roadpartd received %v, draining for up to %v", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("roadpartd shutdown: %v", err)
+			os.Exit(1)
+		}
+		// Shutdown makes ListenAndServe return ErrServerClosed; collect it
+		// so the serving goroutine finishes before we exit.
+		if err := <-errCh; err != nil && err != http.ErrServerClosed {
+			log.Printf("roadpartd serve: %v", err)
+		}
+		log.Printf("roadpartd shut down cleanly")
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"roadpart/internal/cut"
 	"roadpart/internal/graph"
 	"roadpart/internal/metrics"
+	"roadpart/internal/parallel"
 	"roadpart/internal/roadnet"
 	"roadpart/internal/supergraph"
 )
@@ -102,6 +103,11 @@ type Config struct {
 	Refine bool
 	// Seed drives all randomized stages.
 	Seed uint64
+	// Workers bounds the goroutines used by the parallel stages (the
+	// k-sweep fan-out and the k-means restarts beneath each partition):
+	// 0 selects GOMAXPROCS, 1 forces serial execution. Results are
+	// bit-identical for every worker count at the same Seed.
+	Workers int
 }
 
 // Timing is the per-module wall-clock breakdown of Table 3.
@@ -227,7 +233,7 @@ func newPipelineFromGraph(g *graph.Graph, f []float64, cfg Config, m1 time.Durat
 		p.SG = sg
 		p.m2 = time.Since(t0)
 	}
-	opts := cut.Options{Seed: cfg.Seed, Restarts: cfg.Restarts, DenseCutoff: cfg.DenseCutoff}
+	opts := cut.Options{Seed: cfg.Seed, Restarts: cfg.Restarts, DenseCutoff: cfg.DenseCutoff, Workers: cfg.Workers}
 	if p.SG != nil {
 		p.spec = cut.NewSpectral(p.SG.Links, cfg.Scheme.method(), opts)
 	} else {
@@ -322,6 +328,10 @@ func (p *Pipeline) MaxK() int {
 // SweepK partitions for every k in [kMin, kMax], reusing modules 1–2.
 // kMax is clamped to MaxK(), so callers can pass an ambitious upper bound
 // without knowing how condensed the mined supergraph came out.
+//
+// The per-k partitions run concurrently on Config.Workers goroutines
+// after the shared decomposition is warmed to kMax, and the sweep output
+// is identical for every worker count at the same Seed.
 func (p *Pipeline) SweepK(kMin, kMax int) ([]SweepPoint, error) {
 	if kMin < 1 || kMax < kMin {
 		return nil, fmt.Errorf("core: bad sweep range [%d,%d]", kMin, kMax)
@@ -332,15 +342,21 @@ func (p *Pipeline) SweepK(kMin, kMax int) ([]SweepPoint, error) {
 	if kMax < kMin {
 		return nil, fmt.Errorf("core: pipeline supports at most k=%d, below the requested minimum %d", p.MaxK(), kMin)
 	}
-	var out []SweepPoint
-	for k := kMin; k <= kMax; k++ {
+	// Warm the decomposition to the sweep maximum before fanning out, on
+	// the serial path too: the Lanczos cache width depends on the first k
+	// that computes it, so warming is what keeps every worker count —
+	// including Workers=1 — embedding against identical eigenpairs.
+	if err := p.spec.Warm(kMax); err != nil {
+		return nil, fmt.Errorf("core: warming decomposition to k=%d: %w", kMax, err)
+	}
+	return parallel.Map(kMax-kMin+1, p.cfg.Workers, func(i int) (SweepPoint, error) {
+		k := kMin + i
 		res, err := p.PartitionK(k)
 		if err != nil {
-			return nil, fmt.Errorf("core: k=%d: %w", k, err)
+			return SweepPoint{}, fmt.Errorf("core: k=%d: %w", k, err)
 		}
-		out = append(out, SweepPoint{K: k, Result: res})
-	}
-	return out, nil
+		return SweepPoint{K: k, Result: res}, nil
+	})
 }
 
 // BestKByANS sweeps k and returns the k with the minimum ANS — the

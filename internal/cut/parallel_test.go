@@ -1,0 +1,153 @@
+package cut
+
+import (
+	"sync"
+	"testing"
+
+	"roadpart/internal/graph"
+)
+
+// grid builds a deterministic w×h lattice with mildly varying weights,
+// large enough to make concurrent decomposition interesting.
+func grid(w, h int) *graph.Graph {
+	g := graph.New(w * h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			wgt := 1 + 0.1*float64((x*7+y*13)%5)
+			if x+1 < w {
+				_ = g.AddEdge(id(x, y), id(x+1, y), wgt)
+			}
+			if y+1 < h {
+				_ = g.AddEdge(id(x, y), id(x, y+1), wgt)
+			}
+		}
+	}
+	return g
+}
+
+// TestSpectralConcurrentPartition hammers one Spectral from many
+// goroutines with mixed k values — the shape of the parallel k-sweep —
+// and checks every concurrent result against a serial reference computed
+// on a warmed cache. Run under -race this also proves the single-flight
+// decomposition and the compute-outside-lock restructuring are
+// race-clean.
+func TestSpectralConcurrentPartition(t *testing.T) {
+	g := grid(8, 8) // 64 nodes: dense path, schedule-independent embeddings
+	ks := []int{2, 3, 4, 5, 6}
+
+	// Serial reference on an identically-configured warmed partitioner.
+	ref := map[int]*Result{}
+	serial := NewSpectral(g, MethodAlphaCut, Options{Seed: 3})
+	if err := serial.Warm(ks[len(ks)-1]); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ks {
+		res, err := serial.Partition(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[k] = res
+	}
+
+	s := NewSpectral(g, MethodAlphaCut, Options{Seed: 3})
+	if err := s.Warm(ks[len(ks)-1]); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				k := ks[(gi+rep)%len(ks)]
+				res, err := s.Partition(k)
+				if err != nil {
+					errs[gi] = err
+					return
+				}
+				want := ref[k]
+				if res.K != want.K {
+					t.Errorf("goroutine %d k=%d: K=%d, want %d", gi, k, res.K, want.K)
+					return
+				}
+				for i := range want.Assign {
+					if res.Assign[i] != want.Assign[i] {
+						t.Errorf("goroutine %d k=%d: assignment differs at node %d", gi, k, i)
+						return
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSpectralConcurrentColdCache starts many goroutines against a cold
+// cache asking for the same k: the single-flight guard must produce one
+// decomposition every caller shares, with no duplicate eigensolves
+// (observable as a consistent cache) and no races under -race.
+func TestSpectralConcurrentColdCache(t *testing.T) {
+	g := grid(7, 7)
+	s := NewSpectral(g, MethodNCut, Options{Seed: 9})
+	const goroutines = 12
+	results := make([]*Result, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			results[gi], errs[gi] = s.Partition(4)
+		}(gi)
+	}
+	wg.Wait()
+	for gi, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", gi, err)
+		}
+	}
+	first := results[0]
+	for gi, res := range results[1:] {
+		if res.K != first.K {
+			t.Fatalf("goroutine %d: K=%d, others got %d", gi+1, res.K, first.K)
+		}
+		for i := range first.Assign {
+			if res.Assign[i] != first.Assign[i] {
+				t.Fatalf("goroutine %d: assignment differs at node %d", gi+1, i)
+			}
+		}
+	}
+}
+
+// TestPartitionWorkersDeterministic pins the cut-layer guarantee: the
+// one-shot Partition produces the identical result for Workers=1 and
+// Workers=8 at the same seed.
+func TestPartitionWorkersDeterministic(t *testing.T) {
+	g := grid(9, 6)
+	for _, method := range []Method{MethodAlphaCut, MethodNCut} {
+		serial, err := Partition(g, 5, method, Options{Seed: 21, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Partition(g, 5, method, Options{Seed: 21, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.K != par.K || serial.KPrime != par.KPrime {
+			t.Fatalf("%v: K/KPrime %d/%d vs %d/%d", method, serial.K, serial.KPrime, par.K, par.KPrime)
+		}
+		for i := range serial.Assign {
+			if serial.Assign[i] != par.Assign[i] {
+				t.Fatalf("%v: Workers=1 and Workers=8 differ at node %d", method, i)
+			}
+		}
+	}
+}

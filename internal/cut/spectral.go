@@ -58,6 +58,35 @@ type Options struct {
 	// accepted" when an exact k is not required. Growth toward k when
 	// k′ < k still happens.
 	AcceptKPrime bool
+	// Workers bounds the goroutines used by the randomized stages
+	// (k-means restarts): 0 selects GOMAXPROCS, 1 forces serial. The
+	// partition produced is identical for every worker count at the same
+	// seed — this is purely a resource knob.
+	Workers int
+}
+
+// normalized returns o with every zero-value field replaced by its
+// default. It is the single source of option defaults: Partition and
+// NewSpectral both normalize through here, so a cached sweep and a
+// one-shot call can never silently apply different Restarts/DenseCutoff/
+// Alpha values to the same graph.
+func (o Options) normalized() Options {
+	if o.Restarts == 0 {
+		o.Restarts = 5
+	}
+	if o.DenseCutoff == 0 {
+		o.DenseCutoff = 900
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.5
+	}
+	return o
+}
+
+// kmeansOptions maps the partitioner options onto the embedding
+// clustering step, shared by the cached and one-shot paths.
+func (o Options) kmeansOptions() kmeans.NDOptions {
+	return kmeans.NDOptions{Seed: o.Seed, Restarts: o.Restarts, Workers: o.Workers}
 }
 
 // Reduction selects the k′→k strategy of Section 5.4.
@@ -101,12 +130,7 @@ func Partition(g *graph.Graph, k int, method Method, opts Options) (*Result, err
 	if k > n {
 		return nil, fmt.Errorf("cut: k=%d exceeds %d nodes", k, n)
 	}
-	if opts.Restarts == 0 {
-		opts.Restarts = 5
-	}
-	if opts.DenseCutoff == 0 {
-		opts.DenseCutoff = 900
-	}
+	opts = opts.normalized()
 	if k == 1 {
 		return &Result{Assign: make([]int, n), K: 1, KPrime: 1}, nil
 	}
@@ -115,7 +139,7 @@ func Partition(g *graph.Graph, k int, method Method, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	km, err := kmeans.ND(rows, k, kmeans.NDOptions{Seed: opts.Seed, Restarts: opts.Restarts})
+	km, err := kmeans.ND(rows, k, opts.kmeansOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -308,7 +332,7 @@ func bipartition(g *graph.Graph, method Method, opts Options) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	km, err := kmeans.ND(rows, 2, kmeans.NDOptions{Seed: opts.Seed, Restarts: opts.Restarts})
+	km, err := kmeans.ND(rows, 2, opts.kmeansOptions())
 	if err != nil {
 		return nil, err
 	}

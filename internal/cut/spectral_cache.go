@@ -16,26 +16,35 @@ import (
 // dominate that sweep, while the decomposition only depends on the graph
 // and the method.
 //
-// A Spectral is safe for concurrent use.
+// A Spectral is safe for concurrent use. The decomposition is guarded by
+// a single-flight protocol: the eigensolve runs outside the mutex (the
+// lock is never held across O(n³) work), exactly one goroutine computes
+// it while every other caller that needs it waits on the flight, and a
+// warm cache is read with only a brief lock acquisition — a concurrent
+// k-sweep against a warm cache never serializes.
 type Spectral struct {
 	g      *graph.Graph
 	method Method
 	opts   Options
 
-	mu  sync.Mutex
-	dec *eigen.Decomposition // nil until first use; len(Values) grows as needed
+	mu     sync.Mutex
+	dec    *eigen.Decomposition // nil until first use; len(Values) grows as needed
+	flight *specFlight          // in-progress decomposition, nil when idle
+}
+
+// specFlight is one in-progress decomposition. Waiters block on done;
+// err is written exactly once, before done is closed.
+type specFlight struct {
+	want int // eigenpair count being computed
+	done chan struct{}
+	err  error
 }
 
 // NewSpectral prepares a cached spectral partitioner for g. Options are
-// normalized the same way Partition normalizes them.
+// normalized through the same Options.normalized as Partition, so the
+// cached and one-shot paths can never apply different defaults.
 func NewSpectral(g *graph.Graph, method Method, opts Options) *Spectral {
-	if opts.Restarts == 0 {
-		opts.Restarts = 5
-	}
-	if opts.DenseCutoff == 0 {
-		opts.DenseCutoff = 900
-	}
-	return &Spectral{g: g, method: method, opts: opts}
+	return &Spectral{g: g, method: method, opts: opts.normalized()}
 }
 
 // Partition splits the graph into k partitions, reusing the cached
@@ -52,7 +61,7 @@ func (s *Spectral) Partition(k int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	km, err := kmeans.ND(rows, k, kmeans.NDOptions{Seed: s.opts.Seed, Restarts: s.opts.Restarts})
+	km, err := kmeans.ND(rows, k, s.opts.kmeansOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -74,12 +83,68 @@ func (s *Spectral) Partition(k int) (*Result, error) {
 	return res, nil
 }
 
+// Warm ensures the cached decomposition holds at least k eigenpairs,
+// computing it (once) if needed. A sweep that warms to its largest k
+// before fanning out guarantees every Partition call embeds against the
+// same eigenpairs regardless of worker count or arrival order — the
+// foundation of the Workers=1 ≡ Workers=N determinism guarantee.
+func (s *Spectral) Warm(k int) error {
+	if k < 2 {
+		return nil // k=1 never touches the decomposition
+	}
+	if n := s.g.N(); k > n {
+		k = n
+	}
+	_, err := s.decomposition(k)
+	return err
+}
+
 // rows returns the row-normalized k-column spectral embedding, extending
 // the cached decomposition when it is too narrow.
 func (s *Spectral) rows(k int) ([][]float64, error) {
+	dec, err := s.decomposition(k)
+	if err != nil {
+		return nil, err
+	}
+	cols := len(dec.Values)
+	n := s.g.N()
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		r := make([]float64, k)
+		copy(r, dec.Vectors[i*cols:i*cols+k])
+		linalg.Normalize(r)
+		rows[i] = r
+	}
+	return rows, nil
+}
+
+// decomposition returns a cached decomposition with at least k
+// eigenpairs. Cache hits take the lock only long enough to read the
+// pointer. On a miss, exactly one goroutine computes the decomposition
+// outside the lock while every other caller needing it waits on the
+// flight — concurrent sweeps trigger no duplicate eigensolves and no
+// lock-held O(n³) work.
+func (s *Spectral) decomposition(k int) (*eigen.Decomposition, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.dec == nil || len(s.dec.Values) < k {
+	for {
+		if s.dec != nil && len(s.dec.Values) >= k {
+			dec := s.dec
+			s.mu.Unlock()
+			return dec, nil
+		}
+		if f := s.flight; f != nil {
+			// A decomposition is already being computed. Wait for it —
+			// even when it is too narrow for this k, we wait and re-check
+			// rather than start a second concurrent eigensolve.
+			s.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				return nil, f.err
+			}
+			s.mu.Lock()
+			continue
+		}
+
 		want := k
 		if s.g.N() > s.opts.DenseCutoff {
 			// Lanczos path: grab headroom so a k-sweep triggers only a
@@ -89,22 +154,30 @@ func (s *Spectral) rows(k int) ([][]float64, error) {
 				want = s.g.N()
 			}
 		}
+		f := &specFlight{want: want, done: make(chan struct{})}
+		s.flight = f
+		s.mu.Unlock()
+
 		dec, err := decompose(s.g, want, s.method, s.opts)
+
+		s.mu.Lock()
+		s.flight = nil
 		if err != nil {
+			f.err = err
+			close(f.done)
+			s.mu.Unlock()
 			return nil, err
 		}
-		s.dec = dec
+		if s.dec == nil || len(dec.Values) > len(s.dec.Values) {
+			s.dec = dec
+		}
+		close(f.done)
+		if len(s.dec.Values) < k {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("cut: decomposition produced %d of %d requested eigenpairs", len(s.dec.Values), k)
+		}
+		// Loop re-reads s.dec, which now satisfies k.
 	}
-	cols := len(s.dec.Values)
-	n := s.g.N()
-	rows := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		r := make([]float64, k)
-		copy(r, s.dec.Vectors[i*cols:i*cols+k])
-		linalg.Normalize(r)
-		rows[i] = r
-	}
-	return rows, nil
 }
 
 // decompose computes the k smallest eigenpairs of the method's matrix.
@@ -126,11 +199,8 @@ func decompose(g *graph.Graph, k int, method Method, opts Options) (*eigen.Decom
 			dense = o.Dense()
 		}
 	case MethodScalarAlpha:
-		alpha := opts.Alpha
-		if alpha == 0 {
-			alpha = 0.5
-		}
-		o, err := NewScalarAlphaOp(adj, alpha)
+		// opts reached here through Options.normalized, so Alpha is set.
+		o, err := NewScalarAlphaOp(adj, opts.Alpha)
 		if err != nil {
 			return nil, err
 		}

@@ -27,6 +27,40 @@ func TestSpectralMatchesPartition(t *testing.T) {
 	}
 }
 
+// TestSpectralMatchesPartitionOptions repeats the cached-vs-one-shot pin
+// with non-default options. Both paths apply defaults through the shared
+// Options.normalized, so explicit and defaulted values must agree — this
+// catches any future drift between NewSpectral and Partition.
+func TestSpectralMatchesPartitionOptions(t *testing.T) {
+	g := barbell(6, 1, 0.05)
+	cases := []Options{
+		{Seed: 7, Restarts: 3},
+		{Seed: 7, Restarts: 5, DenseCutoff: 900}, // explicit defaults
+		{Seed: 11, Workers: 4},
+	}
+	for ci, opts := range cases {
+		s := NewSpectral(g, MethodNCut, opts)
+		for _, k := range []int{2, 3} {
+			cached, err := s.Partition(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := Partition(g, k, MethodNCut, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cached.K != direct.K {
+				t.Fatalf("case %d k=%d: cached K=%d vs direct K=%d", ci, k, cached.K, direct.K)
+			}
+			for i := range cached.Assign {
+				if cached.Assign[i] != direct.Assign[i] {
+					t.Fatalf("case %d k=%d: assignments differ at node %d", ci, k, i)
+				}
+			}
+		}
+	}
+}
+
 func TestSpectralCacheReuse(t *testing.T) {
 	// After a k=4 call the decomposition is wide enough for k=2..4; the
 	// cached object must stay internally consistent when asked downward.

@@ -3,12 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
-	"sync"
 
 	"roadpart/internal/core"
 	"roadpart/internal/metrics"
+	"roadpart/internal/parallel"
 	"roadpart/internal/roadnet"
 )
 
@@ -24,6 +23,10 @@ type Options struct {
 	// for D1 and 2–25 for the large networks (clamped to what the mined
 	// supergraph supports).
 	KMin, KMax int
+	// Workers bounds the goroutines fanning out over seeds, schemes and
+	// datasets: 0 selects GOMAXPROCS, 1 forces serial. Reported medians
+	// are identical for every worker count.
+	Workers int
 }
 
 func (o Options) runs(def int) int {
@@ -72,53 +75,46 @@ func (c *Curve) BestANS() (k int, ans float64) {
 // taking medians over repeated runs of the randomized spectral stage.
 // Modules 1–2 are k- and seed-independent per seed, so each seed reuses
 // one pipeline across the whole k range; seeds are independent and run
-// concurrently.
-func schemeCurve(net *roadnet.Network, scheme core.Scheme, kMin, kMax, runs int) (*Curve, error) {
+// concurrently on `workers` goroutines (the inner pipelines run serial,
+// since the per-seed fan-out already saturates the workers). Each seed's
+// reports depend only on (net, scheme, seed), so the medians are the same
+// for every worker count.
+func schemeCurve(net *roadnet.Network, scheme core.Scheme, kMin, kMax, runs, workers int) (*Curve, error) {
 	type seedResult struct {
 		hi      int
 		reports []metrics.Report // index k-kMin
-		err     error
 	}
 	results := make([]seedResult, runs)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for seed := 1; seed <= runs; seed++ {
-		wg.Add(1)
-		go func(seed int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out := &results[seed-1]
-			p, err := core.NewPipeline(net, core.Config{Scheme: scheme, Seed: uint64(seed)})
+	err := parallel.ForErr(runs, workers, func(i int) error {
+		seed := i + 1
+		out := &results[i]
+		p, err := core.NewPipeline(net, core.Config{Scheme: scheme, Seed: uint64(seed), Workers: 1})
+		if err != nil {
+			return err
+		}
+		hi := kMax
+		if p.SG != nil && len(p.SG.Nodes) < hi {
+			hi = len(p.SG.Nodes) // the supergraph caps the reachable k
+		}
+		out.hi = hi
+		out.reports = make([]metrics.Report, hi-kMin+1)
+		for k := kMin; k <= hi; k++ {
+			res, err := p.PartitionK(k)
 			if err != nil {
-				out.err = err
-				return
+				return fmt.Errorf("%v k=%d seed=%d: %w", scheme, k, seed, err)
 			}
-			hi := kMax
-			if p.SG != nil && len(p.SG.Nodes) < hi {
-				hi = len(p.SG.Nodes) // the supergraph caps the reachable k
-			}
-			out.hi = hi
-			out.reports = make([]metrics.Report, hi-kMin+1)
-			for k := kMin; k <= hi; k++ {
-				res, err := p.PartitionK(k)
-				if err != nil {
-					out.err = fmt.Errorf("%v k=%d seed=%d: %w", scheme, k, seed, err)
-					return
-				}
-				out.reports[k-kMin] = res.Report
-			}
-		}(seed)
+			out.reports[k-kMin] = res.Report
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 
 	type cell struct{ inter, intra, gdbi, ans []float64 }
 	cells := make([]cell, kMax-kMin+1)
 	effectiveMax := kMax
 	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
 		if r.hi < effectiveMax {
 			effectiveMax = r.hi
 		}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"roadpart/internal/core"
+	"roadpart/internal/parallel"
 )
 
 // Fig4Data holds the four panels of Figure 4: inter, intra, GDBI and ANS
@@ -26,13 +27,12 @@ func Fig4(opts Options) (*Fig4Data, error) {
 	}
 	kMin, kMax := opts.kRange(2, 20)
 	runs := opts.runs(11)
-	var curves []*Curve
-	for _, scheme := range []core.Scheme{core.AG, core.ASG, core.NG} {
-		c, err := schemeCurve(ds.Net, scheme, kMin, kMax, runs)
-		if err != nil {
-			return nil, err
-		}
-		curves = append(curves, c)
+	schemes := []core.Scheme{core.AG, core.ASG, core.NG}
+	curves, err := parallel.Map(len(schemes), opts.Workers, func(i int) (*Curve, error) {
+		return schemeCurve(ds.Net, schemes[i], kMin, kMax, runs, opts.Workers)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Fig4Data{Curves: curves}, nil
 }

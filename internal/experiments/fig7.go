@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"roadpart/internal/core"
+	"roadpart/internal/parallel"
 )
 
 // Fig7Series holds the per-k quality curves for one large dataset.
@@ -36,20 +37,24 @@ func Fig7(opts Options, datasets ...string) (*Fig7Data, error) {
 	}
 	kMin, kMax := opts.kRange(2, 25)
 	runs := opts.runs(3)
-	var out Fig7Data
-	for _, name := range datasets {
-		ds, err := BuildDataset(name, opts.Scale)
+	// Datasets are independent, so they run concurrently; the per-seed
+	// fan-out inside each curve shares the same worker budget.
+	series, err := parallel.Map(len(datasets), opts.Workers, func(i int) (Fig7Series, error) {
+		ds, err := BuildDataset(datasets[i], opts.Scale)
 		if err != nil {
-			return nil, err
+			return Fig7Series{}, err
 		}
-		c, err := schemeCurve(ds.Net, core.ASG, kMin, kMax, runs)
+		c, err := schemeCurve(ds.Net, core.ASG, kMin, kMax, runs, opts.Workers)
 		if err != nil {
-			return nil, err
+			return Fig7Series{}, err
 		}
 		bestK, bestANS := c.BestANS()
-		out.Series = append(out.Series, Fig7Series{Dataset: ds.Name, Curve: c, BestK: bestK, BestANS: bestANS})
+		return Fig7Series{Dataset: ds.Name, Curve: c, BestK: bestK, BestANS: bestANS}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &out, nil
+	return &Fig7Data{Series: series}, nil
 }
 
 // Render prints one table per dataset with all four metrics.

@@ -7,6 +7,7 @@ import (
 	"roadpart/internal/core"
 	"roadpart/internal/jiger"
 	"roadpart/internal/metrics"
+	"roadpart/internal/parallel"
 	"roadpart/internal/roadnet"
 )
 
@@ -35,21 +36,23 @@ func Table2(opts Options) (*Table2Data, error) {
 	kMin, kMax := opts.kRange(2, 20)
 	runs := opts.runs(11)
 
-	var data Table2Data
-	for _, scheme := range []core.Scheme{core.AG, core.ASG, core.NG, core.NSG} {
-		c, err := schemeCurve(ds.Net, scheme, kMin, kMax, runs)
+	schemes := []core.Scheme{core.AG, core.ASG, core.NG, core.NSG}
+	rows, err := parallel.Map(len(schemes), opts.Workers, func(i int) (Table2Row, error) {
+		c, err := schemeCurve(ds.Net, schemes[i], kMin, kMax, runs, opts.Workers)
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		k, ans := c.BestANS()
-		data.Rows = append(data.Rows, Table2Row{Scheme: c.Scheme, ANS: ans, K: k})
+		return Table2Row{Scheme: c.Scheme, ANS: ans, K: k}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	row, err := jigerBest(ds.Net, kMin, kMax, runs)
 	if err != nil {
 		return nil, err
 	}
-	data.Rows = append(data.Rows, row)
-	return &data, nil
+	return &Table2Data{Rows: append(rows, row)}, nil
 }
 
 // jigerBest sweeps k for the Ji & Geroliminis baseline and returns its

@@ -3,6 +3,8 @@ package kmeans
 import (
 	"fmt"
 	"math"
+
+	"roadpart/internal/parallel"
 )
 
 // Seeding selects the initialization strategy for ND.
@@ -23,11 +25,17 @@ type NDOptions struct {
 	MaxIter  int
 	Restarts int    // best-of-n restarts by WCSS; 0 means 1
 	Seed     uint64 // deterministic RNG seed
+	// Workers bounds the goroutines running restarts concurrently:
+	// 0 selects GOMAXPROCS, 1 forces serial. Every restart draws its RNG
+	// from a SplitMix64 stream derived from Seed before any restart runs,
+	// so the result is bit-identical for every worker count.
+	Workers int
 }
 
 // ND clusters d-dimensional points into k clusters with Lloyd's algorithm.
 // points[i] must all have the same dimension. The best result (lowest WCSS)
-// across opts.Restarts runs is returned. The input is not modified.
+// across opts.Restarts runs is returned, ties broken toward the lowest
+// restart index. The input is not modified.
 func ND(points [][]float64, k int, opts NDOptions) (*Result, error) {
 	n := len(points)
 	if k < 1 {
@@ -51,12 +59,33 @@ func ND(points [][]float64, k int, opts NDOptions) (*Result, error) {
 		restarts = 1
 	}
 
-	rng := prng{state: opts.Seed ^ 0x5851f42d4c957f2d}
-	var best *Result
-	for r := 0; r < restarts; r++ {
+	// Give each restart its own RNG up front, then run restarts
+	// concurrently. Restart r's generator depends only on (Seed, r) —
+	// never on which goroutine runs it — so serial and parallel execution
+	// produce the same per-restart results, and the index-ordered
+	// reduction below picks the same winner.
+	//
+	// The per-restart states reproduce the historical sequential stream
+	// exactly: seeding consumes one splitmix64 draw per centroid pick —
+	// k for k-means++, n−1 for a Forgy permutation — Lloyd iteration
+	// consumes none, and each draw advances the state by the fixed
+	// increment, so restart r of the old one-stream loop started at
+	// base + r·draws·increment. Any future seeding strategy with
+	// data-dependent draw counts must switch to split seeds instead.
+	draws := uint64(k)
+	if opts.Seeding == SeedForgy {
+		draws = uint64(n - 1)
+	}
+	base := opts.Seed ^ 0x5851f42d4c957f2d
+	results := make([]*Result, restarts)
+	parallel.For(restarts, opts.Workers, func(r int) {
+		rng := prng{state: base + uint64(r)*draws*prngIncrement}
 		means := seed(points, k, opts.Seeding, &rng)
-		res := lloyd(points, means, k, maxIter)
-		if best == nil || res.WCSS < best.WCSS {
+		results[r] = lloyd(points, means, k, maxIter)
+	})
+	best := results[0]
+	for _, res := range results[1:] {
+		if res.WCSS < best.WCSS {
 			best = res
 		}
 	}
@@ -189,8 +218,12 @@ func dup(p []float64) []float64 {
 // prng is a small deterministic generator (splitmix64 core).
 type prng struct{ state uint64 }
 
+// prngIncrement is the fixed state advance per draw; ND relies on it to
+// fast-forward the stream to each restart's starting point.
+const prngIncrement = 0x9e3779b97f4a7c15
+
 func (p *prng) next() uint64 {
-	p.state += 0x9e3779b97f4a7c15
+	p.state += prngIncrement
 	z := p.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb

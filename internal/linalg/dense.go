@@ -1,6 +1,10 @@
 package linalg
 
-import "fmt"
+import (
+	"fmt"
+
+	"roadpart/internal/parallel"
+)
 
 // Dense is a row-major dense matrix of float64 values.
 // The zero value is an empty 0×0 matrix.
@@ -77,18 +81,24 @@ func (m *Dense) Clone() *Dense {
 
 // MulVec computes dst = m·x. dst and x must not alias.
 // It panics on dimension mismatch.
+//
+// Large matrices compute row-parallel (see SetWorkers); each row's
+// accumulation order is unchanged, so the result is bit-identical to the
+// serial loop for any worker count.
 func (m *Dense) MulVec(dst, x []float64) {
 	if len(x) != m.cols || len(dst) != m.rows {
 		panic(fmt.Sprintf("linalg: MulVec dims %dx%d with x[%d] dst[%d]", m.rows, m.cols, len(x), len(dst)))
 	}
-	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
+	parallel.Blocks(m.rows, mulVecSpan(m.rows, denseMulVecCutoff), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.data[i*m.cols : (i+1)*m.cols]
+			var s float64
+			for j, v := range row {
+				s += v * x[j]
+			}
+			dst[i] = s
 		}
-		dst[i] = s
-	}
+	})
 }
 
 // IsSymmetric reports whether m is square and symmetric to within tol.

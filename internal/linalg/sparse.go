@@ -3,6 +3,8 @@ package linalg
 import (
 	"fmt"
 	"sort"
+
+	"roadpart/internal/parallel"
 )
 
 // Coord is a single (row, column, value) triplet used to assemble sparse
@@ -95,17 +97,23 @@ func (m *CSR) Range(i int, fn func(j int, v float64)) {
 
 // MulVec computes dst = m·x. dst and x must not alias.
 // It panics on dimension mismatch.
+//
+// Large matrices compute row-parallel (see SetWorkers); each row's
+// accumulation order is unchanged, so the result is bit-identical to the
+// serial loop for any worker count.
 func (m *CSR) MulVec(dst, x []float64) {
 	if len(x) != m.cols || len(dst) != m.rows {
 		panic(fmt.Sprintf("linalg: MulVec dims %dx%d with x[%d] dst[%d]", m.rows, m.cols, len(x), len(dst)))
 	}
-	for i := 0; i < m.rows; i++ {
-		var s float64
-		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
-			s += m.vals[k] * x[m.colIdx[k]]
+	parallel.Blocks(m.rows, mulVecSpan(m.rows, csrMulVecCutoff), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+				s += m.vals[k] * x[m.colIdx[k]]
+			}
+			dst[i] = s
 		}
-		dst[i] = s
-	}
+	})
 }
 
 // RowSums returns the vector of row sums (the weighted degree vector when

@@ -1,0 +1,50 @@
+package linalg
+
+import (
+	"sync/atomic"
+
+	"roadpart/internal/parallel"
+)
+
+// Matrix–vector products are row-parallel above a size cutoff: each dst
+// row is written by exactly one goroutine and the per-row accumulation
+// order is unchanged, so the result is bit-identical to the serial loop
+// for any worker count. The cutoffs keep small operators — the meta-graph
+// bipartitions, the supergraph tail — on the serial path where goroutine
+// fan-out would only add overhead.
+const (
+	// csrMulVecCutoff is the minimum row count for parallel CSR.MulVec.
+	// Below it one Lanczos matvec is a few microseconds and spawn cost
+	// dominates.
+	csrMulVecCutoff = 2048
+	// denseMulVecCutoff is the minimum row count for parallel
+	// Dense.MulVec (each row is already O(cols) work).
+	denseMulVecCutoff = 256
+)
+
+// mulVecWorkers is the package-wide worker cap for MulVec kernels:
+// 0 selects GOMAXPROCS, 1 forces serial. Set once at startup via
+// SetWorkers; the kernels read it atomically.
+var mulVecWorkers atomic.Int32
+
+// SetWorkers caps the goroutines used by the row-parallel MulVec kernels.
+// 0 restores the default (GOMAXPROCS); 1 forces the serial path. Results
+// are bit-identical for every setting — this is purely a resource knob.
+func SetWorkers(w int) {
+	if w < 0 {
+		w = 1
+	}
+	mulVecWorkers.Store(int32(w))
+}
+
+// Workers reports the current MulVec worker cap (0 = GOMAXPROCS).
+func Workers() int { return int(mulVecWorkers.Load()) }
+
+// mulVecSpan picks the worker count for a kernel over n rows with the
+// given cutoff, returning 1 whenever the parallel path isn't worthwhile.
+func mulVecSpan(n, cutoff int) int {
+	if n < cutoff {
+		return 1
+	}
+	return parallel.Resolve(int(mulVecWorkers.Load()), n)
+}

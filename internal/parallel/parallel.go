@@ -1,0 +1,142 @@
+// Package parallel provides the small, deterministic, bounded worker
+// pools used by the partitioning hot paths: the k-sweep in core, the
+// row-parallel matvec kernels in linalg, the k-means restarts and the
+// experiments fan-out.
+//
+// Design rules, in priority order:
+//
+//  1. Determinism: every helper assigns work by index and collects
+//     results by index, so the output (including which error is
+//     reported) never depends on goroutine scheduling. Callers that keep
+//     per-index work independent get byte-identical results for any
+//     worker count.
+//  2. Boundedness: at most `workers` goroutines run at once; a worker
+//     count of 0 selects runtime.GOMAXPROCS(0) and negative counts
+//     clamp to 1 (serial).
+//  3. Zero overhead when serial: with one worker (or one item) the work
+//     runs inline on the calling goroutine — no channels, no spawns —
+//     so Workers=1 is exactly the serial program.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a Workers knob to a concrete worker count: 0 selects
+// GOMAXPROCS, negative values clamp to 1, and the count is capped at n
+// (the number of independent work items) when n is positive.
+func Resolve(workers, n int) int {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if n > 0 && workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// For runs fn(i) for every i in [0, n) on up to `workers` goroutines
+// (0 = GOMAXPROCS). Indices are handed out atomically, so each index runs
+// exactly once; fn must treat distinct indices as independent. For blocks
+// until all calls return.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForErr is For with error collection: every index runs (there is no
+// early exit, so the set of attempted indices never depends on timing)
+// and the error of the lowest failing index is returned — the same error
+// a serial loop that kept going would report first.
+func ForErr(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	For(n, workers, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) on up to `workers` goroutines and
+// returns the results in index order. On failure it returns the error of
+// the lowest failing index.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForErr(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Blocks splits [0, n) into at most `workers` contiguous spans and runs
+// fn(lo, hi) for each, blocking until all return. It is the grain for
+// row-parallel kernels: each row is written by exactly one goroutine and
+// per-row arithmetic order is unchanged, so results are bit-identical to
+// the serial loop for any worker count.
+func Blocks(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers, n)
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

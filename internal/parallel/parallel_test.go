@@ -1,0 +1,142 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0, 0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0,0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3, 10); got != 1 {
+		t.Fatalf("Resolve(-3,10) = %d, want 1", got)
+	}
+	if got := Resolve(8, 3); got != 3 {
+		t.Fatalf("Resolve(8,3) = %d, want 3 (capped at n)", got)
+	}
+	if got := Resolve(8, 0); got != 8 {
+		t.Fatalf("Resolve(8,0) = %d, want 8 (n=0 means no cap)", got)
+	}
+	if got := Resolve(2, 100); got != 2 {
+		t.Fatalf("Resolve(2,100) = %d, want 2", got)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 237
+		var hits [n]atomic.Int32
+		For(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	ran := false
+	For(0, 4, func(i int) { ran = true })
+	For(-5, 4, func(i int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n <= 0")
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 7} {
+		err := ForErr(50, workers, func(i int) error {
+			if i == 3 || i == 40 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 3" {
+			t.Fatalf("workers=%d: err = %v, want fail at 3", workers, err)
+		}
+	}
+	if err := ForErr(10, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("clean run returned %v", err)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 16} {
+		out, err := Map(100, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	want := errors.New("boom")
+	_, err := Map(5, 3, func(i int) (int, error) {
+		if i == 2 {
+			return 0, want
+		}
+		return i, nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBlocksCoverExactly(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		const n = 103
+		var hits [n]atomic.Int32
+		Blocks(n, workers, func(lo, hi int) {
+			if lo >= hi {
+				t.Errorf("empty block [%d,%d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestBlocksSerialSingleSpan(t *testing.T) {
+	calls := 0
+	Blocks(10, 1, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("serial block [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("serial Blocks made %d calls", calls)
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []int {
+		out, err := Map(64, workers, func(i int) (int, error) { return i*31 + 7, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(1), run(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("results differ at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -37,6 +37,10 @@ type PartitionRequest struct {
 	// Refine applies α-Cut boundary refinement.
 	Refine bool   `json:"refine,omitempty"`
 	Seed   uint64 `json:"seed,omitempty"`
+	// Workers bounds the goroutines serving this request's parallel
+	// stages; 0 uses the server default. Results are identical for every
+	// worker count at the same seed.
+	Workers int `json:"workers,omitempty"`
 }
 
 // PartitionResponse is the body of a successful partition call.
@@ -63,6 +67,9 @@ type SweepRequest struct {
 	KMax    int              `json:"k_max"`
 	Scheme  string           `json:"scheme,omitempty"`
 	Seed    uint64           `json:"seed,omitempty"`
+	// Workers bounds the goroutines serving this request's parallel
+	// stages; 0 uses the server default.
+	Workers int `json:"workers,omitempty"`
 }
 
 // SweepResponse reports per-k quality and the ANS-minimum selection.
@@ -82,14 +89,40 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// New returns the service's HTTP handler.
-func New() http.Handler {
+// Config tunes the service.
+type Config struct {
+	// Workers is the default worker count for the parallel stages of
+	// each request (k-sweep fan-out, k-means restarts): 0 selects
+	// GOMAXPROCS, 1 forces serial. A request's nonzero workers field
+	// overrides it.
+	Workers int
+}
+
+// service carries the server configuration into the handlers.
+type service struct {
+	cfg Config
+}
+
+// New returns the service's HTTP handler with default configuration.
+func New() http.Handler { return NewWith(Config{}) }
+
+// NewWith returns the service's HTTP handler under cfg.
+func NewWith(cfg Config) http.Handler {
+	s := &service{cfg: cfg}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", handleHealth)
-	mux.HandleFunc("/v1/partition", handlePartition)
-	mux.HandleFunc("/v1/sweep", handleSweep)
+	mux.HandleFunc("/v1/partition", s.handlePartition)
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
 	mux.HandleFunc("/v1/render", handleRender)
 	return mux
+}
+
+// workers resolves a request-level override against the server default.
+func (s *service) workers(req int) int {
+	if req != 0 {
+		return req
+	}
+	return s.cfg.Workers
 }
 
 // RenderRequest is the body of POST /v1/render: a network plus an
@@ -145,7 +178,7 @@ func handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func handlePartition(w http.ResponseWriter, r *http.Request) {
+func (s *service) handlePartition(w http.ResponseWriter, r *http.Request) {
 	var req PartitionRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -158,6 +191,7 @@ func handlePartition(w http.ResponseWriter, r *http.Request) {
 	cfg.K = req.K
 	cfg.StabilityEps = req.StabilityEps
 	cfg.Refine = req.Refine
+	cfg.Workers = s.workers(req.Workers)
 	if req.Network == nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing network"))
 		return
@@ -186,7 +220,7 @@ func handlePartition(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func handleSweep(w http.ResponseWriter, r *http.Request) {
+func (s *service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -196,6 +230,7 @@ func handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	cfg.Workers = s.workers(req.Workers)
 	if req.Network == nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing network"))
 		return
