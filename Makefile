@@ -1,10 +1,11 @@
 # Standard developer entry points. `make verify` is the gate a change
-# must pass before review: build, vet, the full test suite, and the race
-# detector over the whole module (short mode keeps the race pass fast).
+# must pass before review: build, vet, the full test suite, the race
+# detector over the whole module (short mode keeps the race pass fast),
+# and the docs checks (gofmt drift + relative-link rot in *.md).
 
 GO ?= go
 
-.PHONY: build vet test race bench verify
+.PHONY: build vet test race bench docs-check verify
 
 build:
 	$(GO) build ./...
@@ -21,4 +22,12 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 
-verify: build vet test race
+# docs-check fails on gofmt drift, vet findings, or broken relative
+# links in the repository's Markdown (see docs_link_test.go).
+docs-check:
+	@drift="$$(gofmt -l .)"; if [ -n "$$drift" ]; then \
+		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) test -run TestDocsLinks .
+
+verify: build vet test race docs-check

@@ -21,6 +21,7 @@ import (
 
 	"roadpart/internal/experiments"
 	"roadpart/internal/linalg"
+	"roadpart/internal/obs"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 		kmax    = flag.Int("kmax", 0, "maximum k (0 = paper default)")
 		csvTo   = flag.String("csv", "", "directory to write plot-ready CSV series into (figures only)")
 		workers = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS; medians are identical for any value)")
+		timings = flag.Bool("timings", false, "print the per-stage wall-clock breakdown after all experiments")
 	)
 	flag.Parse()
 	linalg.SetWorkers(*workers)
@@ -151,6 +153,13 @@ func main() {
 		fmt.Printf("=== %s (scale=%s) ===\n", strings.ToUpper(name), *scale)
 		if err := run(name); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if *timings {
+		fmt.Println("=== STAGE TIMINGS (cumulative, this process) ===")
+		if err := obs.WriteStageTable(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}

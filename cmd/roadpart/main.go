@@ -10,6 +10,7 @@
 //	roadpart -preset D1 -k 6 -scheme ASG
 //	roadpart -net city.json -densities now.csv -k 8 -scheme AG -out parts.csv
 //	roadpart -preset M1 -autok -kmax 15
+//	roadpart -preset D1 -k 6 -timings   # per-stage breakdown (Table 3 layout)
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"roadpart/internal/core"
 	"roadpart/internal/experiments"
 	"roadpart/internal/linalg"
+	"roadpart/internal/obs"
 	"roadpart/internal/render"
 	"roadpart/internal/roadnet"
 )
@@ -39,6 +41,7 @@ func main() {
 		stabEps  = flag.Float64("stability", 0, "supernode stability threshold in [0,1] (0 = off)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS, 1 = serial; same result either way)")
+		timings  = flag.Bool("timings", false, "print the per-stage wall-clock breakdown (paper Table 3 layout)")
 		outPath  = flag.String("out", "", "write segment,partition CSV here")
 		svgPath  = flag.String("svg", "", "write an SVG map of the partitions here")
 		geoPath  = flag.String("geojson", "", "write a GeoJSON FeatureCollection with partition properties here")
@@ -90,6 +93,13 @@ func main() {
 		fmt.Printf(" %d", sizes[i])
 	}
 	fmt.Println()
+
+	if *timings {
+		fmt.Println()
+		if err := obs.WriteStageTable(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *outPath != "" {
 		if err := writeAssignment(*outPath, res.Assign); err != nil {

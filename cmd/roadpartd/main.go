@@ -2,11 +2,18 @@
 //
 //	roadpartd -addr :8080
 //
-// Endpoints (JSON bodies; see internal/server):
+// Endpoints (JSON bodies; see internal/server and docs/API.md):
 //
 //	POST /v1/partition  — {"network": {...}, "k": 6, "scheme": "ASG"}
 //	POST /v1/sweep      — {"network": {...}, "k_min": 2, "k_max": 12}
+//	POST /v1/render     — {"network": {...}, "assign": [...]} → SVG
 //	GET  /v1/healthz
+//	GET  /v1/metrics    — Prometheus text exposition
+//	GET  /v1/stats      — JSON metrics snapshot + process info
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ for CPU
+// and heap profiling of live sweeps (see docs/TUNING.md
+// § Observability).
 //
 // SIGINT or SIGTERM triggers a graceful shutdown: the listener closes
 // immediately, in-flight requests get -drain to finish, then the process
@@ -18,6 +25,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,12 +39,25 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "default worker count for parallel stages (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 30*time.Second, "grace period for in-flight requests on shutdown")
+	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	linalg.SetWorkers(*workers)
+	handler := server.NewWith(server.Config{Workers: *workers})
+	if *withPprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("roadpartd pprof enabled at /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      server.NewWith(server.Config{Workers: *workers}),
+		Handler:      handler,
 		ReadTimeout:  2 * time.Minute,
 		WriteTimeout: 10 * time.Minute, // large sweeps take a while
 	}

@@ -1,0 +1,57 @@
+package roadpart
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links/images: [text](target). Reference
+// definitions and autolinks are rare in this repo and external anyway.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// TestDocsLinks walks every Markdown file in the repository (root and
+// docs/) and fails on relative links whose target file does not exist.
+// It is the link-rot gate behind `make docs-check`; external URLs are
+// not fetched.
+func TestDocsLinks(t *testing.T) {
+	var files []string
+	for _, glob := range []string{"*.md", "docs/*.md", "docs/**/*.md"} {
+		m, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, m...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found — test running from the wrong directory?")
+	}
+
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; not fetched
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // in-page anchor
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s)", file, m[1], resolved)
+			}
+			checked++
+		}
+	}
+	t.Logf("checked %d relative links across %d markdown files", checked, len(files))
+}

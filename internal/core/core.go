@@ -25,9 +25,19 @@ import (
 	"roadpart/internal/cut"
 	"roadpart/internal/graph"
 	"roadpart/internal/metrics"
+	"roadpart/internal/obs"
 	"roadpart/internal/parallel"
 	"roadpart/internal/roadnet"
 	"roadpart/internal/supergraph"
+)
+
+// Stage timers for the pipeline hot path (see docs/TUNING.md
+// § Observability). Cached here so recording is one atomic update.
+var (
+	stageRoadGraph = obs.StageTimer("road_graph_build")
+	stageSpectral  = obs.StageTimer("spectral_cut")
+	stageRefine    = obs.StageTimer("alpha_cut_refine")
+	stageSweep     = obs.StageTimer("k_sweep")
 )
 
 // Scheme selects the partitioning configuration of Section 6.3.
@@ -189,6 +199,7 @@ func SimilarityWeighted(g *graph.Graph, f []float64) *graph.Graph {
 
 // NewPipeline runs modules 1 and 2 for the network under cfg.
 func NewPipeline(net *roadnet.Network, cfg Config) (*Pipeline, error) {
+	sp := stageRoadGraph.Start()
 	t0 := time.Now()
 	g, err := roadnet.DualGraph(net)
 	if err != nil {
@@ -196,6 +207,7 @@ func NewPipeline(net *roadnet.Network, cfg Config) (*Pipeline, error) {
 	}
 	f := net.Densities()
 	m1 := time.Since(t0)
+	sp.End()
 	return newPipelineFromGraph(g, f, cfg, m1)
 }
 
@@ -244,6 +256,7 @@ func newPipelineFromGraph(g *graph.Graph, f []float64, cfg Config, m1 time.Durat
 
 // PartitionK runs module 3 for the given k and evaluates the result.
 func (p *Pipeline) PartitionK(k int) (*Result, error) {
+	spCut := stageSpectral.Start()
 	t0 := time.Now()
 	var assign []int
 	var kPrime int
@@ -273,7 +286,9 @@ func (p *Pipeline) PartitionK(k int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	spCut.End()
 	if p.cfg.Refine {
+		spRef := stageRefine.Start()
 		// Refinement optimizes congestion affinities, so it runs on the
 		// similarity-weighted road graph (built lazily for supergraph
 		// schemes, which otherwise never need it).
@@ -285,6 +300,7 @@ func (p *Pipeline) PartitionK(k int) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		spRef.End()
 	}
 	m3 := time.Since(t0)
 
@@ -346,6 +362,8 @@ func (p *Pipeline) SweepK(kMin, kMax int) ([]SweepPoint, error) {
 	// the serial path too: the Lanczos cache width depends on the first k
 	// that computes it, so warming is what keeps every worker count —
 	// including Workers=1 — embedding against identical eigenpairs.
+	sp := stageSweep.Start()
+	defer sp.End()
 	if err := p.spec.Warm(kMax); err != nil {
 		return nil, fmt.Errorf("core: warming decomposition to k=%d: %w", kMax, err)
 	}

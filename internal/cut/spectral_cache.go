@@ -8,6 +8,20 @@ import (
 	"roadpart/internal/graph"
 	"roadpart/internal/kmeans"
 	"roadpart/internal/linalg"
+	"roadpart/internal/obs"
+)
+
+// Single-flight cache accounting: a hit reads a warm decomposition, a
+// miss computes one, a wait blocked on another goroutine's in-progress
+// compute (a waiting lookup later resolves as a hit once the flight
+// lands, so one lookup can count both a wait and a hit). The
+// eigendecompose stage timer covers the compute itself.
+var (
+	specCacheHelp = "Spectral decomposition single-flight cache events by kind."
+	specHits      = obs.Default().Counter("roadpart_spectral_cache_total", specCacheHelp, "result", "hit")
+	specMisses    = obs.Default().Counter("roadpart_spectral_cache_total", specCacheHelp, "result", "miss")
+	specWaits     = obs.Default().Counter("roadpart_spectral_cache_total", specCacheHelp, "result", "wait")
+	stageEigen    = obs.StageTimer("eigendecompose")
 )
 
 // Spectral partitions one fixed graph for many values of k, caching the
@@ -130,9 +144,11 @@ func (s *Spectral) decomposition(k int) (*eigen.Decomposition, error) {
 		if s.dec != nil && len(s.dec.Values) >= k {
 			dec := s.dec
 			s.mu.Unlock()
+			specHits.Inc()
 			return dec, nil
 		}
 		if f := s.flight; f != nil {
+			specWaits.Inc()
 			// A decomposition is already being computed. Wait for it —
 			// even when it is too narrow for this k, we wait and re-check
 			// rather than start a second concurrent eigensolve.
@@ -158,7 +174,10 @@ func (s *Spectral) decomposition(k int) (*eigen.Decomposition, error) {
 		s.flight = f
 		s.mu.Unlock()
 
+		specMisses.Inc()
+		sp := stageEigen.Start()
 		dec, err := decompose(s.g, want, s.method, s.opts)
+		sp.End()
 
 		s.mu.Lock()
 		s.flight = nil

@@ -1,5 +1,5 @@
 // Package gen produces the synthetic road networks that stand in for the
-// paper's proprietary datasets.
+// paper's proprietary datasets (Section 6.1, Table 1).
 //
 // The paper evaluates on Downtown San Francisco (D1, 420 segments, shared
 // privately by the authors of [5]) and three Melbourne exports (M1–M3, up

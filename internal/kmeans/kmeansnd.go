@@ -4,7 +4,18 @@ import (
 	"fmt"
 	"math"
 
+	"roadpart/internal/obs"
 	"roadpart/internal/parallel"
+)
+
+// ND run accounting: restarts fanned out and Lloyd iterations consumed
+// across them. Both totals are deterministic for a given input and seed
+// (worker count never changes them).
+var (
+	ndRestarts = obs.Default().Counter("roadpart_kmeans_restarts_total",
+		"k-means restarts executed on spectral embeddings.")
+	ndIterations = obs.Default().Counter("roadpart_kmeans_iterations_total",
+		"Lloyd iterations consumed across all k-means restarts.")
 )
 
 // Seeding selects the initialization strategy for ND.
@@ -84,11 +95,15 @@ func ND(points [][]float64, k int, opts NDOptions) (*Result, error) {
 		results[r] = lloyd(points, means, k, maxIter)
 	})
 	best := results[0]
-	for _, res := range results[1:] {
+	var iters uint64
+	for _, res := range results {
+		iters += uint64(res.Iterations)
 		if res.WCSS < best.WCSS {
 			best = res
 		}
 	}
+	ndRestarts.Add(uint64(restarts))
+	ndIterations.Add(iters)
 	return best, nil
 }
 

@@ -89,6 +89,7 @@ func (m *Dense) MulVec(dst, x []float64) {
 	if len(x) != m.cols || len(dst) != m.rows {
 		panic(fmt.Sprintf("linalg: MulVec dims %dx%d with x[%d] dst[%d]", m.rows, m.cols, len(x), len(dst)))
 	}
+	matvecDense.Inc()
 	parallel.Blocks(m.rows, mulVecSpan(m.rows, denseMulVecCutoff), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := m.data[i*m.cols : (i+1)*m.cols]

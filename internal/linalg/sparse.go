@@ -105,6 +105,7 @@ func (m *CSR) MulVec(dst, x []float64) {
 	if len(x) != m.cols || len(dst) != m.rows {
 		panic(fmt.Sprintf("linalg: MulVec dims %dx%d with x[%d] dst[%d]", m.rows, m.cols, len(x), len(dst)))
 	}
+	matvecCSR.Inc()
 	parallel.Blocks(m.rows, mulVecSpan(m.rows, csrMulVecCutoff), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var s float64

@@ -3,7 +3,18 @@ package linalg
 import (
 	"sync/atomic"
 
+	"roadpart/internal/obs"
 	"roadpart/internal/parallel"
+)
+
+// Matvec tallies: one increment per MulVec call (not per row), so the
+// cost is a single atomic add against O(nnz) kernel work. The counts are
+// deterministic for a given workload — the Lanczos iteration count per
+// eigensolve is seed-fixed.
+var (
+	matvecHelp  = "Matrix-vector products computed, by matrix kind."
+	matvecCSR   = obs.Default().Counter("roadpart_linalg_matvec_total", matvecHelp, "kind", "csr")
+	matvecDense = obs.Default().Counter("roadpart_linalg_matvec_total", matvecHelp, "kind", "dense")
 )
 
 // Matrix–vector products are row-parallel above a size cutoff: each dst

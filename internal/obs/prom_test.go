@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPrometheusGolden pins the exact text exposition for a registry
+// with all three kinds, multiple labeled series, and escaping.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("roadpart_http_requests_total", "Requests served.", "path", "/v1/sweep", "code", "200").Add(3)
+	r.Counter("roadpart_http_requests_total", "Requests served.", "path", "/v1/sweep", "code", "400").Add(1)
+	r.Gauge("roadpart_build_info", "Build info.").Set(1)
+	r.Timer("roadpart_stage_duration_seconds", "Stage time.", "stage", "spectral_cut").Observe(1500 * time.Millisecond)
+	r.Counter("weird_total", `quote " slash \ newline`+"\n", "k", `v"w\x`+"\n").Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP roadpart_build_info Build info.
+# TYPE roadpart_build_info gauge
+roadpart_build_info 1
+# HELP roadpart_http_requests_total Requests served.
+# TYPE roadpart_http_requests_total counter
+roadpart_http_requests_total{code="200",path="/v1/sweep"} 3
+roadpart_http_requests_total{code="400",path="/v1/sweep"} 1
+# HELP roadpart_stage_duration_seconds Stage time.
+# TYPE roadpart_stage_duration_seconds summary
+roadpart_stage_duration_seconds_sum{stage="spectral_cut"} 1.5
+roadpart_stage_duration_seconds_count{stage="spectral_cut"} 1
+# HELP weird_total quote " slash \\ newline\n
+# TYPE weird_total counter
+weird_total{k="v\"w\\x\n"} 1
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "count", "x", "1").Add(2)
+	r.Timer("t_seconds", "timer").Observe(4 * time.Millisecond)
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("got %d families, want 2", len(snap))
+	}
+	if snap[0].Name != "c_total" || snap[0].Kind != "counter" {
+		t.Fatalf("family 0 = %+v", snap[0])
+	}
+	if v := snap[0].Series[0].Value; v == nil || *v != 2 {
+		t.Fatalf("counter value = %v", v)
+	}
+	if snap[0].Series[0].Labels["x"] != "1" {
+		t.Fatalf("labels = %v", snap[0].Series[0].Labels)
+	}
+	ts := snap[1].Series[0]
+	if ts.Count != 1 || ts.TotalMs != 4 || ts.MeanMs != 4 || ts.MaxMs != 4 {
+		t.Fatalf("timer series = %+v", ts)
+	}
+
+	// The snapshot must marshal cleanly — it is the /v1/stats body.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatal(err)
+	}
+}

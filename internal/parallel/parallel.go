@@ -1,7 +1,9 @@
 // Package parallel provides the small, deterministic, bounded worker
 // pools used by the partitioning hot paths: the k-sweep in core, the
 // row-parallel matvec kernels in linalg, the k-means restarts and the
-// experiments fan-out.
+// experiments fan-out. It implements no paper section itself — it is the
+// execution substrate under all three modules of the paper's framework
+// (Figure 2), added for the production-scale goals in ROADMAP.md.
 //
 // Design rules, in priority order:
 //

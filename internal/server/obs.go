@@ -1,0 +1,115 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"roadpart/internal/obs"
+)
+
+// processStart anchors the uptime reported by /v1/stats.
+var processStart = time.Now()
+
+// trackedPaths is the closed set of path label values for the HTTP
+// metrics; anything else is folded into "other" so an URL-scanning
+// client cannot explode the label cardinality.
+var trackedPaths = map[string]bool{
+	"/v1/healthz":   true,
+	"/v1/partition": true,
+	"/v1/sweep":     true,
+	"/v1/render":    true,
+	"/v1/metrics":   true,
+	"/v1/stats":     true,
+}
+
+const (
+	reqCountHelp = "HTTP requests served, by path and status code."
+	reqTimeHelp  = "HTTP request latency, by path."
+)
+
+// instrument wraps the service mux with per-request accounting: a
+// latency timer per path and a counter per (path, status code).
+func instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		if !trackedPaths[path] {
+			path = "other"
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		sp := obs.Default().Timer("roadpart_http_request_duration_seconds", reqTimeHelp,
+			"path", path).Start()
+		next.ServeHTTP(sw, r)
+		sp.End()
+		obs.Default().Counter("roadpart_http_requests_total", reqCountHelp,
+			"path", path, "code", strconv.Itoa(sw.status())).Inc()
+	})
+}
+
+// statusWriter captures the response status code for the request
+// counter; a handler that never calls WriteHeader implicitly sends 200.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// handleMetrics serves GET /v1/metrics: the process-wide registry in the
+// Prometheus text exposition format — per-stage pipeline durations,
+// cache/restart/matvec tallies, and the per-endpoint request metrics.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.Default().WritePrometheus(w)
+}
+
+// StatsResponse is the body of GET /v1/stats: a JSON snapshot of every
+// registered metric plus light process information.
+type StatsResponse struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	GoVersion     string       `json:"go_version"`
+	Goroutines    int          `json:"goroutines"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	Metrics       []obs.Metric `json:"metrics"`
+}
+
+// handleStats serves GET /v1/stats.
+func handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: time.Since(processStart).Seconds(),
+		GoVersion:     runtime.Version(),
+		Goroutines:    runtime.NumGoroutine(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Metrics:       obs.Default().Snapshot(),
+	})
+}

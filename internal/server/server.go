@@ -1,12 +1,19 @@
-// Package server exposes the partitioning framework as a JSON-over-HTTP
-// service, so non-Go traffic-management stacks can call it. Endpoints:
+// Package server exposes the partitioning framework — the paper's
+// three-module pipeline of Figure 2 — as a JSON-over-HTTP service, so
+// non-Go traffic-management stacks can call it. Endpoints (documented in
+// full in docs/API.md):
 //
 //	POST /v1/partition  — partition a network at a fixed k
 //	POST /v1/sweep      — sweep k and report per-k quality (+ the ANS pick)
+//	POST /v1/render     — render a network (and optional assignment) as SVG
 //	GET  /v1/healthz    — liveness
+//	GET  /v1/metrics    — Prometheus text exposition (stage timers, counters)
+//	GET  /v1/stats      — JSON metrics snapshot + process info
 //
 // Requests carry the network inline (the roadnet JSON schema). The
-// service is stateless; every request is independent.
+// service is stateless; every request is independent. All requests flow
+// through an instrumentation middleware that records per-endpoint
+// latency and status-code counters into the internal/obs registry.
 package server
 
 import (
@@ -114,7 +121,9 @@ func NewWith(cfg Config) http.Handler {
 	mux.HandleFunc("/v1/partition", s.handlePartition)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
 	mux.HandleFunc("/v1/render", handleRender)
-	return mux
+	mux.HandleFunc("/v1/metrics", handleMetrics)
+	mux.HandleFunc("/v1/stats", handleStats)
+	return instrument(mux)
 }
 
 // workers resolves a request-level override against the server default.

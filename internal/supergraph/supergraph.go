@@ -19,6 +19,16 @@ import (
 	"roadpart/internal/cluster"
 	"roadpart/internal/graph"
 	"roadpart/internal/kmeans"
+	"roadpart/internal/obs"
+)
+
+// Stage timers for the module-2 mining stages (Algorithm 1–2); cached so
+// recording is one atomic update per stage.
+var (
+	stageShortlist  = obs.StageTimer("mcg_shortlist")
+	stageFullKMeans = obs.StageTimer("full_kmeans")
+	stageStability  = obs.StageTimer("stability_split")
+	stageMerge      = obs.StageTimer("supergraph_merge")
 )
 
 // Supernode is a set of road-graph nodes with similar densities that is
@@ -116,6 +126,7 @@ func Mine(g *graph.Graph, features []float64, opts MineOptions) (*Supergraph, er
 	}
 
 	// Stage 1: sampled κ-sweep, shortlist by MCG (Alg. 1 lines 3–9).
+	spShortlist := stageShortlist.Start()
 	sw, err := cluster.SweepKappa(features, cluster.SweepOptions{
 		KappaMax:   opts.KappaMax,
 		SampleSize: opts.SampleSize,
@@ -139,9 +150,11 @@ func Mine(g *graph.Graph, features []float64, opts MineOptions) (*Supergraph, er
 		eps = frac * maxMCG
 	}
 	shortlist := sw.Shortlist(eps)
+	spShortlist.End()
 
 	// Stage 2: full-data clustering per shortlisted κ; fewest connected
 	// components wins (Alg. 1 lines 10–16).
+	spKMeans := stageFullKMeans.Start()
 	bestComp := -1
 	var bestAssign, bestLabels []int
 	var bestMeans []float64
@@ -163,9 +176,11 @@ func Mine(g *graph.Graph, features []float64, opts MineOptions) (*Supergraph, er
 			chosen = kappa
 		}
 	}
+	spKMeans.End()
 
 	// Create supernodes (Alg. 1 lines 17–20): members from components,
 	// feature = the k-means cluster mean of the component's cluster.
+	spMerge := stageMerge.Start()
 	nodes := make([]Supernode, bestComp)
 	for v := 0; v < n; v++ {
 		s := bestLabels[v]
@@ -182,12 +197,18 @@ func Mine(g *graph.Graph, features []float64, opts MineOptions) (*Supergraph, er
 		ChosenKappa:               chosen,
 		SupernodesBeforeStability: bestComp,
 	}
+	spMerge.End()
 
 	// Optional stability pass (Algorithm 2).
 	if opts.StabilityEps > 0 {
+		spStab := stageStability.Start()
 		nodes, stats.Splits = stabilize(g, features, nodes, opts.StabilityEps)
+		spStab.End()
 	}
 
+	// Superlink construction accrues to the merge stage: it completes the
+	// supergraph assembly of Alg. 1 (a Timer accumulates across spans).
+	spLinks := stageMerge.Start()
 	sg := &Supergraph{Nodes: nodes, NodeOf: make([]int, n), Stats: stats}
 	for s, sn := range sg.Nodes {
 		for _, v := range sn.Members {
@@ -197,6 +218,7 @@ func Mine(g *graph.Graph, features []float64, opts MineOptions) (*Supergraph, er
 	if err := sg.buildLinks(g, features, opts.Weighting); err != nil {
 		return nil, err
 	}
+	spLinks.End()
 	return sg, nil
 }
 

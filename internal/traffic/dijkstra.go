@@ -1,4 +1,5 @@
-// Package traffic populates road networks with congestion.
+// Package traffic populates road networks with congestion — the data
+// substrate of the paper's Section 6.1.
 //
 // The paper's large datasets carry densities produced by MNTG, a web-based
 // random-traffic generator whose trajectories the authors mapped onto road
