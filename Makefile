@@ -1,11 +1,13 @@
 # Standard developer entry points. `make verify` is the gate a change
 # must pass before review: build, vet, the full test suite, the race
 # detector over the whole module (short mode keeps the race pass fast),
-# and the docs checks (gofmt drift + relative-link rot in *.md).
+# a fuzz smoke pass over the untrusted-input parsers, and the docs
+# checks (gofmt drift + relative-link rot in *.md).
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build vet test race bench docs-check verify
+.PHONY: build vet test race bench fuzz-smoke docs-check verify
 
 build:
 	$(GO) build ./...
@@ -22,6 +24,16 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 
+# fuzz-smoke runs each roadnet fuzz target for FUZZTIME (default 10s).
+# Go allows one -fuzz target per invocation, so the targets run in
+# sequence; seeds come from internal/roadnet/testdata plus the inline
+# f.Add corpus. A crasher fails the run and is written to
+# internal/roadnet/testdata/fuzz/ for triage.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadJSON$$' -fuzztime $(FUZZTIME) ./internal/roadnet
+	$(GO) test -run '^$$' -fuzz '^FuzzReadGeoJSON$$' -fuzztime $(FUZZTIME) ./internal/roadnet
+	$(GO) test -run '^$$' -fuzz '^FuzzReadDensitiesCSV$$' -fuzztime $(FUZZTIME) ./internal/roadnet
+
 # docs-check fails on gofmt drift, vet findings, or broken relative
 # links in the repository's Markdown (see docs_link_test.go).
 docs-check:
@@ -30,4 +42,4 @@ docs-check:
 	$(GO) vet ./...
 	$(GO) test -run TestDocsLinks .
 
-verify: build vet test race docs-check
+verify: build vet test race fuzz-smoke docs-check

@@ -7,6 +7,7 @@ package roadpart
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -304,7 +305,7 @@ func BenchmarkEigenLanczos3000(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eigen.Lanczos(op, 6, eigen.LanczosOptions{Seed: 1}); err != nil {
+		if _, err := eigen.Lanczos(context.Background(), op, 6, eigen.LanczosOptions{Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -15,6 +15,14 @@
 // and heap profiling of live sweeps (see docs/TUNING.md
 // § Observability).
 //
+// The transport is guarded by -read-header-timeout, -read-timeout,
+// -write-timeout and -idle-timeout; the compute behind each request by
+// -request-timeout (clients may lower it per request with timeout_ms,
+// capped at -max-request-timeout); and total load by -max-inflight,
+// -max-queue and -queue-wait (admission control — 429/503 with
+// Retry-After once saturated; off by default). docs/TUNING.md § Failure
+// modes describes how these degrade under overload.
+//
 // SIGINT or SIGTERM triggers a graceful shutdown: the listener closes
 // immediately, in-flight requests get -drain to finish, then the process
 // exits.
@@ -40,10 +48,33 @@ func main() {
 	workers := flag.Int("workers", 0, "default worker count for parallel stages (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 30*time.Second, "grace period for in-flight requests on shutdown")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+	// Transport timeouts: protect the listener from slow or stalled
+	// clients (slowloris headers, bodies that trickle, readers that
+	// never drain the response).
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "time limit for reading request headers")
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "time limit for reading an entire request")
+	writeTimeout := flag.Duration("write-timeout", 10*time.Minute, "time limit for writing a response (large sweeps take a while)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection limit")
+
+	// Compute budgets and admission: bound the pipeline work behind
+	// each request and shed load once saturated (see docs/API.md).
+	requestTimeout := flag.Duration("request-timeout", 5*time.Minute, "default compute deadline per request; 0 = none")
+	maxRequestTimeout := flag.Duration("max-request-timeout", 10*time.Minute, "cap for client-supplied timeout_ms")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrently computing partition/sweep requests; 0 = unlimited")
+	maxQueue := flag.Int("max-queue", 16, "max requests queued for a compute slot before shedding with 429")
+	queueWait := flag.Duration("queue-wait", 5*time.Second, "max time a queued request waits for a slot before shedding with 503")
 	flag.Parse()
 
 	linalg.SetWorkers(*workers)
-	handler := server.NewWith(server.Config{Workers: *workers})
+	handler := server.NewWith(server.Config{
+		Workers:        *workers,
+		DefaultTimeout: *requestTimeout,
+		MaxTimeout:     *maxRequestTimeout,
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+	})
 	if *withPprof {
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
@@ -56,10 +87,12 @@ func main() {
 		log.Printf("roadpartd pprof enabled at /debug/pprof/")
 	}
 	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      handler,
-		ReadTimeout:  2 * time.Minute,
-		WriteTimeout: 10 * time.Minute, // large sweeps take a while
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	errCh := make(chan error, 1)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"roadpart/internal/kmeans"
@@ -40,6 +41,13 @@ type Sweep struct {
 // resulting points with Shortlist and re-clusters the full dataset only for
 // the surviving κ values.
 func SweepKappa(data []float64, opts SweepOptions) (*Sweep, error) {
+	return SweepKappaCtx(context.Background(), data, opts)
+}
+
+// SweepKappaCtx is SweepKappa with cooperative cancellation: the sweep
+// checks ctx before clustering each κ (one κ's k-means run is the
+// cancellation grain) and returns ctx's error once it is done.
+func SweepKappaCtx(ctx context.Context, data []float64, opts SweepOptions) (*Sweep, error) {
 	n := len(data)
 	if n < 2 {
 		return nil, fmt.Errorf("cluster: SweepKappa needs at least 2 points, got %d", n)
@@ -72,6 +80,9 @@ func SweepKappa(data []float64, opts SweepOptions) (*Sweep, error) {
 
 	sw := &Sweep{SampleN: sampleN}
 	for kappa := lo; kappa <= hi; kappa++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cluster: κ-sweep interrupted at κ=%d: %w", kappa, err)
+		}
 		res, err := kmeans.OneD(sample, kappa, 0)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: κ=%d: %w", kappa, err)

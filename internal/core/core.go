@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -199,6 +200,14 @@ func SimilarityWeighted(g *graph.Graph, f []float64) *graph.Graph {
 
 // NewPipeline runs modules 1 and 2 for the network under cfg.
 func NewPipeline(net *roadnet.Network, cfg Config) (*Pipeline, error) {
+	return NewPipelineCtx(context.Background(), net, cfg)
+}
+
+// NewPipelineCtx is NewPipeline with cooperative cancellation of the
+// mining stages (module 2 observes ctx between clustering runs and
+// stability splits). An uncancelled call builds a pipeline bit-identical
+// to NewPipeline's.
+func NewPipelineCtx(ctx context.Context, net *roadnet.Network, cfg Config) (*Pipeline, error) {
 	sp := stageRoadGraph.Start()
 	t0 := time.Now()
 	g, err := roadnet.DualGraph(net)
@@ -208,16 +217,22 @@ func NewPipeline(net *roadnet.Network, cfg Config) (*Pipeline, error) {
 	f := net.Densities()
 	m1 := time.Since(t0)
 	sp.End()
-	return newPipelineFromGraph(g, f, cfg, m1)
+	return newPipelineFromGraph(ctx, g, f, cfg, m1)
 }
 
 // NewPipelineFromGraph builds a pipeline directly from a road graph and
 // its feature vector, for callers that construct graphs themselves.
 func NewPipelineFromGraph(g *graph.Graph, f []float64, cfg Config) (*Pipeline, error) {
-	return newPipelineFromGraph(g, f, cfg, 0)
+	return newPipelineFromGraph(context.Background(), g, f, cfg, 0)
 }
 
-func newPipelineFromGraph(g *graph.Graph, f []float64, cfg Config, m1 time.Duration) (*Pipeline, error) {
+// NewPipelineFromGraphCtx is NewPipelineFromGraph with cooperative
+// cancellation of the mining stages.
+func NewPipelineFromGraphCtx(ctx context.Context, g *graph.Graph, f []float64, cfg Config) (*Pipeline, error) {
+	return newPipelineFromGraph(ctx, g, f, cfg, 0)
+}
+
+func newPipelineFromGraph(ctx context.Context, g *graph.Graph, f []float64, cfg Config, m1 time.Duration) (*Pipeline, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("core: empty road graph")
 	}
@@ -230,7 +245,7 @@ func newPipelineFromGraph(g *graph.Graph, f []float64, cfg Config, m1 time.Durat
 	}
 	if cfg.Scheme.usesSupergraph() {
 		t0 := time.Now()
-		sg, err := supergraph.Mine(g, f, supergraph.MineOptions{
+		sg, err := supergraph.MineCtx(ctx, g, f, supergraph.MineOptions{
 			EpsTheta:     cfg.EpsTheta,
 			EpsThetaFrac: cfg.EpsThetaFrac,
 			KappaMax:     cfg.KappaMax,
@@ -256,6 +271,14 @@ func newPipelineFromGraph(g *graph.Graph, f []float64, cfg Config, m1 time.Durat
 
 // PartitionK runs module 3 for the given k and evaluates the result.
 func (p *Pipeline) PartitionK(k int) (*Result, error) {
+	return p.PartitionKCtx(context.Background(), k)
+}
+
+// PartitionKCtx is PartitionK with cooperative cancellation: the spectral
+// embedding, k-means and reduction stages observe ctx between work items
+// and the call returns ctx's error once it is done. An uncancelled call
+// is bit-identical to PartitionK at the same configuration.
+func (p *Pipeline) PartitionKCtx(ctx context.Context, k int) (*Result, error) {
 	spCut := stageSpectral.Start()
 	t0 := time.Now()
 	var assign []int
@@ -264,7 +287,7 @@ func (p *Pipeline) PartitionK(k int) (*Result, error) {
 		if k > len(p.SG.Nodes) {
 			return nil, fmt.Errorf("core: k=%d exceeds %d supernodes", k, len(p.SG.Nodes))
 		}
-		res, err := p.spec.Partition(k)
+		res, err := p.spec.PartitionCtx(ctx, k)
 		if err != nil {
 			return nil, err
 		}
@@ -274,7 +297,7 @@ func (p *Pipeline) PartitionK(k int) (*Result, error) {
 			return nil, err
 		}
 	} else {
-		res, err := p.spec.Partition(k)
+		res, err := p.spec.PartitionCtx(ctx, k)
 		if err != nil {
 			return nil, err
 		}
@@ -319,11 +342,17 @@ func (p *Pipeline) PartitionK(k int) (*Result, error) {
 
 // Partition runs the full framework once: modules 1–3 for cfg.K.
 func Partition(net *roadnet.Network, cfg Config) (*Result, error) {
-	p, err := NewPipeline(net, cfg)
+	return PartitionCtx(context.Background(), net, cfg)
+}
+
+// PartitionCtx is Partition with cooperative cancellation across all
+// three modules.
+func PartitionCtx(ctx context.Context, net *roadnet.Network, cfg Config) (*Result, error) {
+	p, err := NewPipelineCtx(ctx, net, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return p.PartitionK(cfg.K)
+	return p.PartitionKCtx(ctx, cfg.K)
 }
 
 // SweepPoint is one k of a sweep.
@@ -349,6 +378,16 @@ func (p *Pipeline) MaxK() int {
 // after the shared decomposition is warmed to kMax, and the sweep output
 // is identical for every worker count at the same Seed.
 func (p *Pipeline) SweepK(kMin, kMax int) ([]SweepPoint, error) {
+	return p.SweepKCtx(context.Background(), kMin, kMax)
+}
+
+// SweepKCtx is SweepK with cooperative cancellation: the fan-out workers
+// observe ctx between per-k partitions (one PartitionK is the
+// cancellation grain), started partitions drain before the call returns
+// — no goroutine outlives a cancelled sweep — and ctx's error is
+// returned. An uncancelled sweep is bit-identical to SweepK at the same
+// seed and worker count.
+func (p *Pipeline) SweepKCtx(ctx context.Context, kMin, kMax int) ([]SweepPoint, error) {
 	if kMin < 1 || kMax < kMin {
 		return nil, fmt.Errorf("core: bad sweep range [%d,%d]", kMin, kMax)
 	}
@@ -364,12 +403,12 @@ func (p *Pipeline) SweepK(kMin, kMax int) ([]SweepPoint, error) {
 	// including Workers=1 — embedding against identical eigenpairs.
 	sp := stageSweep.Start()
 	defer sp.End()
-	if err := p.spec.Warm(kMax); err != nil {
+	if err := p.spec.WarmCtx(ctx, kMax); err != nil {
 		return nil, fmt.Errorf("core: warming decomposition to k=%d: %w", kMax, err)
 	}
-	return parallel.Map(kMax-kMin+1, p.cfg.Workers, func(i int) (SweepPoint, error) {
+	return parallel.MapCtx(ctx, kMax-kMin+1, p.cfg.Workers, func(i int) (SweepPoint, error) {
 		k := kMin + i
-		res, err := p.PartitionK(k)
+		res, err := p.PartitionKCtx(ctx, k)
 		if err != nil {
 			return SweepPoint{}, fmt.Errorf("core: k=%d: %w", k, err)
 		}
@@ -381,7 +420,13 @@ func (p *Pipeline) SweepK(kMin, kMax int) ([]SweepPoint, error) {
 // paper's rule for selecting the optimal number of partitions — along
 // with the full sweep.
 func (p *Pipeline) BestKByANS(kMin, kMax int) (int, []SweepPoint, error) {
-	sweep, err := p.SweepK(kMin, kMax)
+	return p.BestKByANSCtx(context.Background(), kMin, kMax)
+}
+
+// BestKByANSCtx is BestKByANS with cooperative cancellation of the
+// underlying sweep.
+func (p *Pipeline) BestKByANSCtx(ctx context.Context, kMin, kMax int) (int, []SweepPoint, error) {
+	sweep, err := p.SweepKCtx(ctx, kMin, kMax)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -1,0 +1,156 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"testing"
+	"time"
+
+	"roadpart/internal/core"
+	"roadpart/internal/experiments"
+)
+
+// preContextGolden pins the exact output of the pipeline as it stood
+// before context propagation was threaded through it: FNV-64a over
+// (k, K, K′, ANS bits, assignments) of SweepK(2,6) at Seed 7 on the
+// small-scale D1/M1 datasets. These constants were captured from the
+// pre-refactor tree; a live, never-cancelled context must reproduce them
+// bit for bit at every worker count.
+var preContextGolden = map[string]uint64{
+	"D1/AG":  0xbfd57440d12e6bb4,
+	"D1/ASG": 0xa1c27456313b9521,
+	"M1/AG":  0x7173a1383e43411f,
+	"M1/ASG": 0x8e3a04ec02f4b82c,
+}
+
+func sweepHash(sweep []core.SweepPoint) uint64 {
+	h := fnv.New64a()
+	for _, pt := range sweep {
+		fmt.Fprintf(h, "k=%d K=%d KPrime=%d ANS=%x ", pt.K, pt.Result.K, pt.Result.KPrime, pt.Result.Report.ANS)
+		for _, a := range pt.Result.Assign {
+			fmt.Fprintf(h, "%d,", a)
+		}
+	}
+	return h.Sum64()
+}
+
+// TestSweepKCtxBitIdenticalToPreContext is the refactor's compatibility
+// contract: threading an uncancelled context through every stage changes
+// nothing observable — the full sweep output matches the golden hashes
+// captured before the refactor, for both the legacy and the Ctx entry
+// points, serial and parallel.
+func TestSweepKCtxBitIdenticalToPreContext(t *testing.T) {
+	schemes := map[string]core.Scheme{"AG": core.AG, "ASG": core.ASG}
+	for _, name := range []string{"D1", "M1"} {
+		ds, err := experiments.BuildDataset(name, experiments.ScaleSmall)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for schemeName, scheme := range schemes {
+			want := preContextGolden[name+"/"+schemeName]
+			for _, workers := range []int{1, 4} {
+				cfg := core.Config{Scheme: scheme, Seed: 7, Workers: workers}
+
+				p, err := core.NewPipeline(ds.Net, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sweep, err := p.SweepK(2, 6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := sweepHash(sweep); got != want {
+					t.Errorf("%s/%s workers=%d: SweepK hash %#x, want pre-context %#x",
+						name, schemeName, workers, got, want)
+				}
+
+				pc, err := core.NewPipelineCtx(context.Background(), ds.Net, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sweepCtx, err := pc.SweepKCtx(context.Background(), 2, 6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := sweepHash(sweepCtx); got != want {
+					t.Errorf("%s/%s workers=%d: SweepKCtx hash %#x, want pre-context %#x",
+						name, schemeName, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepKCtxCancelsPromptly cancels a sweep mid-flight and asserts it
+// stops within the one-work-item grain rather than finishing the sweep:
+// the call must return the context error well before a full sweep's
+// runtime, and reliably once the first partition completed.
+func TestSweepKCtxCancelsPromptly(t *testing.T) {
+	ds, err := experiments.BuildDataset("D1", experiments.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Scheme: core.ASG, Seed: 7, Workers: 1}
+	p, err := core.NewPipelineCtx(context.Background(), ds.Net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Time the uncancelled sweep to scale the promptness bound to the
+	// machine instead of hard-coding milliseconds.
+	start := time.Now()
+	if _, err := p.SweepKCtx(context.Background(), 2, 12); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start = time.Now()
+	_, err = p.SweepKCtx(ctx, 2, 12)
+	cancelled := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A pre-cancelled sweep re-runs at most the items workers had in
+	// hand — nothing, here — so it must come in far under the full
+	// sweep. Allow a generous factor for timer noise on a busy machine.
+	if full > 50*time.Millisecond && cancelled > full/2 {
+		t.Fatalf("cancelled sweep took %v of an uncancelled %v", cancelled, full)
+	}
+}
+
+// TestCancelledSweepLeavesNoGoroutines asserts repeated cancelled sweeps
+// drain all their workers: the goroutine count returns to baseline.
+func TestCancelledSweepLeavesNoGoroutines(t *testing.T) {
+	ds, err := experiments.BuildDataset("D1", experiments.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Scheme: core.ASG, Seed: 7, Workers: 4}
+	p, err := core.NewPipelineCtx(context.Background(), ds.Net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(time.Duration(round) * 2 * time.Millisecond)
+			cancel()
+		}()
+		_, _ = p.SweepKCtx(ctx, 2, 12)
+		cancel()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after cancelled sweeps: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,6 +1,7 @@
 package cut
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -123,6 +124,15 @@ type Result struct {
 // recursive bipartitioning (or grow toward k by splitting the largest
 // partitions when k-means left clusters empty).
 func Partition(g *graph.Graph, k int, method Method, opts Options) (*Result, error) {
+	return PartitionCtx(context.Background(), g, k, method, opts)
+}
+
+// PartitionCtx is Partition with cooperative cancellation: ctx is
+// observed between the algorithm's work items — Lanczos steps and k-means
+// restarts inside the embedding, and each bipartition of the k′→k
+// reduction — and PartitionCtx returns ctx's error once it is done. An
+// uncancelled run is bit-identical to Partition at the same options.
+func PartitionCtx(ctx context.Context, g *graph.Graph, k int, method Method, opts Options) (*Result, error) {
 	n := g.N()
 	if k < 1 {
 		return nil, fmt.Errorf("cut: k must be >= 1, got %d", k)
@@ -135,11 +145,11 @@ func Partition(g *graph.Graph, k int, method Method, opts Options) (*Result, err
 		return &Result{Assign: make([]int, n), K: 1, KPrime: 1}, nil
 	}
 
-	rows, err := embed(g, k, method, opts)
+	rows, err := embed(ctx, g, k, method, opts)
 	if err != nil {
 		return nil, err
 	}
-	km, err := kmeans.ND(rows, k, opts.kmeansOptions())
+	km, err := kmeans.NDCtx(ctx, rows, k, opts.kmeansOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -151,12 +161,12 @@ func Partition(g *graph.Graph, k int, method Method, opts Options) (*Result, err
 
 	switch {
 	case kPrime > k && !opts.AcceptKPrime:
-		labels, err = reduce(g, labels, kPrime, k, method, opts)
+		labels, err = reduce(ctx, g, labels, kPrime, k, method, opts)
 		if err != nil {
 			return nil, err
 		}
 	case kPrime < k:
-		labels, err = grow(g, labels, kPrime, k, method, opts)
+		labels, err = grow(ctx, g, labels, kPrime, k, method, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -168,8 +178,8 @@ func Partition(g *graph.Graph, k int, method Method, opts Options) (*Result, err
 // embed computes the row-normalized spectral embedding Z (Alg. 3 lines
 // 1–8): n rows of k coordinates from the k smallest eigenvectors of the
 // method's matrix.
-func embed(g *graph.Graph, k int, method Method, opts Options) ([][]float64, error) {
-	dec, err := decompose(g, k, method, opts)
+func embed(ctx context.Context, g *graph.Graph, k int, method Method, opts Options) ([][]float64, error) {
+	dec, err := decompose(ctx, g, k, method, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +199,7 @@ func embed(g *graph.Graph, k int, method Method, opts Options) ([][]float64, err
 // A′(i,j) = sqrt(Σ w² / numadj) over the cross-partition edges, which is
 // recursively bipartitioned FIFO until k groups remain; each group's
 // partitions merge.
-func reduce(g *graph.Graph, labels []int, kPrime, k int, method Method, opts Options) ([]int, error) {
+func reduce(ctx context.Context, g *graph.Graph, labels []int, kPrime, k int, method Method, opts Options) ([]int, error) {
 	meta, err := connectivityGraph(g, labels, kPrime)
 	if err != nil {
 		return nil, err
@@ -199,7 +209,7 @@ func reduce(g *graph.Graph, labels []int, kPrime, k int, method Method, opts Opt
 	case ReduceGreedyPruning:
 		groups = greedyPrune(meta, k)
 	default:
-		groups, err = recursiveBipartition(meta, k, method, opts)
+		groups, err = recursiveBipartition(ctx, meta, k, method, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -264,7 +274,7 @@ func connectivityGraph(g *graph.Graph, labels []int, kPrime int) (*graph.Graph, 
 
 // recursiveBipartition splits the meta-graph's node set into k groups by
 // FIFO bipartitioning, as the paper's queue-based loop does.
-func recursiveBipartition(meta *graph.Graph, k int, method Method, opts Options) ([][]int, error) {
+func recursiveBipartition(ctx context.Context, meta *graph.Graph, k int, method Method, opts Options) ([][]int, error) {
 	all := make([]int, meta.N())
 	for i := range all {
 		all[i] = i
@@ -272,6 +282,9 @@ func recursiveBipartition(meta *graph.Graph, k int, method Method, opts Options)
 	queue := [][]int{all}
 	var done [][]int
 	for len(queue)+len(done) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cut: recursive bipartitioning interrupted: %w", err)
+		}
 		// Find the first splittable group, preserving FIFO order.
 		idx := -1
 		for i, grp := range queue {
@@ -290,7 +303,7 @@ func recursiveBipartition(meta *graph.Graph, k int, method Method, opts Options)
 		if err != nil {
 			return nil, err
 		}
-		half, err := bipartition(sub, method, opts)
+		half, err := bipartition(ctx, sub, method, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -320,7 +333,7 @@ func recursiveBipartition(meta *graph.Graph, k int, method Method, opts Options)
 // bipartition splits a (small) graph into two non-empty halves using the
 // spectral method with k=2, with deterministic fallbacks for degenerate
 // embeddings.
-func bipartition(g *graph.Graph, method Method, opts Options) ([]int, error) {
+func bipartition(ctx context.Context, g *graph.Graph, method Method, opts Options) ([]int, error) {
 	n := g.N()
 	if n < 2 {
 		return nil, fmt.Errorf("cut: cannot bipartition %d nodes", n)
@@ -328,11 +341,11 @@ func bipartition(g *graph.Graph, method Method, opts Options) ([]int, error) {
 	if n == 2 {
 		return []int{0, 1}, nil
 	}
-	rows, err := embed(g, 2, method, opts)
+	rows, err := embed(ctx, g, 2, method, opts)
 	if err != nil {
 		return nil, err
 	}
-	km, err := kmeans.ND(rows, 2, opts.kmeansOptions())
+	km, err := kmeans.NDCtx(ctx, rows, 2, opts.kmeansOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -400,11 +413,14 @@ func greedyPrune(meta *graph.Graph, k int) [][]int {
 // grow splits the largest partitions until the count reaches k, keeping
 // every partition connected (bipartition + component extraction). Needed
 // when k-means leaves clusters empty so k′ < k.
-func grow(g *graph.Graph, labels []int, kPrime, k int, method Method, opts Options) ([]int, error) {
+func grow(ctx context.Context, g *graph.Graph, labels []int, kPrime, k int, method Method, opts Options) ([]int, error) {
 	out := make([]int, len(labels))
 	copy(out, labels)
 	count := kPrime
 	for count < k {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cut: partition growth interrupted: %w", err)
+		}
 		// Largest partition with at least 2 nodes; ties break to the
 		// smallest label so the choice is deterministic.
 		sizes := map[int][]int{}
@@ -429,7 +445,7 @@ func grow(g *graph.Graph, labels []int, kPrime, k int, method Method, opts Optio
 		if err != nil {
 			return nil, err
 		}
-		half, err := bipartition(sub, method, opts)
+		half, err := bipartition(ctx, sub, method, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -449,7 +465,7 @@ func grow(g *graph.Graph, labels []int, kPrime, k int, method Method, opts Optio
 	}
 	if count > k {
 		dense, kk := renumber(out)
-		return reduce(g, dense, kk, k, method, opts)
+		return reduce(ctx, g, dense, kk, k, method, opts)
 	}
 	return out, nil
 }

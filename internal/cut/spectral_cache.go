@@ -1,6 +1,8 @@
 package cut
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -36,6 +38,13 @@ var (
 // it while every other caller that needs it waits on the flight, and a
 // warm cache is read with only a brief lock acquisition — a concurrent
 // k-sweep against a warm cache never serializes.
+//
+// Cancellation composes with the single flight without poisoning the
+// cache: a waiter whose context expires stops waiting immediately (the
+// flight keeps computing for its owner), and when the computing
+// goroutine's own context expires its cancellation error is never
+// cached — surviving waiters promote one of themselves to a fresh
+// flight under their own, still-live contexts.
 type Spectral struct {
 	g      *graph.Graph
 	method Method
@@ -64,6 +73,14 @@ func NewSpectral(g *graph.Graph, method Method, opts Options) *Spectral {
 // Partition splits the graph into k partitions, reusing the cached
 // decomposition when it already has at least k eigenpairs.
 func (s *Spectral) Partition(k int) (*Result, error) {
+	return s.PartitionCtx(context.Background(), k)
+}
+
+// PartitionCtx is Partition with cooperative cancellation: the embedding,
+// k-means and reduction stages observe ctx between work items, and a
+// cancelled call never leaves the shared cache in a worse state than
+// before it ran. An uncancelled call is bit-identical to Partition.
+func (s *Spectral) PartitionCtx(ctx context.Context, k int) (*Result, error) {
 	n := s.g.N()
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("cut: k=%d out of range [1,%d]", k, n)
@@ -71,11 +88,11 @@ func (s *Spectral) Partition(k int) (*Result, error) {
 	if k == 1 {
 		return &Result{Assign: make([]int, n), K: 1, KPrime: 1}, nil
 	}
-	rows, err := s.rows(k)
+	rows, err := s.rows(ctx, k)
 	if err != nil {
 		return nil, err
 	}
-	km, err := kmeans.ND(rows, k, s.opts.kmeansOptions())
+	km, err := kmeans.NDCtx(ctx, rows, k, s.opts.kmeansOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -83,12 +100,12 @@ func (s *Spectral) Partition(k int) (*Result, error) {
 	res := &Result{KPrime: kPrime}
 	switch {
 	case kPrime > k && !s.opts.AcceptKPrime:
-		labels, err = reduce(s.g, labels, kPrime, k, s.method, s.opts)
+		labels, err = reduce(ctx, s.g, labels, kPrime, k, s.method, s.opts)
 		if err != nil {
 			return nil, err
 		}
 	case kPrime < k:
-		labels, err = grow(s.g, labels, kPrime, k, s.method, s.opts)
+		labels, err = grow(ctx, s.g, labels, kPrime, k, s.method, s.opts)
 		if err != nil {
 			return nil, err
 		}
@@ -103,20 +120,25 @@ func (s *Spectral) Partition(k int) (*Result, error) {
 // same eigenpairs regardless of worker count or arrival order — the
 // foundation of the Workers=1 ≡ Workers=N determinism guarantee.
 func (s *Spectral) Warm(k int) error {
+	return s.WarmCtx(context.Background(), k)
+}
+
+// WarmCtx is Warm with cooperative cancellation of the eigensolve.
+func (s *Spectral) WarmCtx(ctx context.Context, k int) error {
 	if k < 2 {
 		return nil // k=1 never touches the decomposition
 	}
 	if n := s.g.N(); k > n {
 		k = n
 	}
-	_, err := s.decomposition(k)
+	_, err := s.decomposition(ctx, k)
 	return err
 }
 
 // rows returns the row-normalized k-column spectral embedding, extending
 // the cached decomposition when it is too narrow.
-func (s *Spectral) rows(k int) ([][]float64, error) {
-	dec, err := s.decomposition(k)
+func (s *Spectral) rows(ctx context.Context, k int) ([][]float64, error) {
+	dec, err := s.decomposition(ctx, k)
 	if err != nil {
 		return nil, err
 	}
@@ -132,15 +154,34 @@ func (s *Spectral) rows(k int) ([][]float64, error) {
 	return rows, nil
 }
 
+// ctxErr reports whether err is (or wraps) a context cancellation or
+// deadline error — the class of failures that must never poison the
+// single-flight cache for callers whose own contexts are still live.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // decomposition returns a cached decomposition with at least k
 // eigenpairs. Cache hits take the lock only long enough to read the
 // pointer. On a miss, exactly one goroutine computes the decomposition
 // outside the lock while every other caller needing it waits on the
 // flight — concurrent sweeps trigger no duplicate eigensolves and no
 // lock-held O(n³) work.
-func (s *Spectral) decomposition(k int) (*eigen.Decomposition, error) {
+//
+// Cancellation semantics: a waiter stops waiting the moment its own ctx
+// is done. When a flight lands with a context error (its owner was
+// cancelled mid-eigensolve) the error is not cached and not propagated
+// to waiters with live contexts — each such waiter loops, finds no
+// flight, and one of them becomes the next computer. Only a flight's
+// non-context error (a genuine solver failure, equally fatal for every
+// caller) is propagated to its waiters.
+func (s *Spectral) decomposition(ctx context.Context, k int) (*eigen.Decomposition, error) {
 	s.mu.Lock()
 	for {
+		if err := ctx.Err(); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
 		if s.dec != nil && len(s.dec.Values) >= k {
 			dec := s.dec
 			s.mu.Unlock()
@@ -153,10 +194,16 @@ func (s *Spectral) decomposition(k int) (*eigen.Decomposition, error) {
 			// even when it is too narrow for this k, we wait and re-check
 			// rather than start a second concurrent eigensolve.
 			s.mu.Unlock()
-			<-f.done
-			if f.err != nil {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-f.done:
+			}
+			if f.err != nil && !ctxErr(f.err) {
 				return nil, f.err
 			}
+			// Success, or the computer was cancelled: re-check under the
+			// lock. Our own ctx is vetted at the top of the loop.
 			s.mu.Lock()
 			continue
 		}
@@ -176,7 +223,7 @@ func (s *Spectral) decomposition(k int) (*eigen.Decomposition, error) {
 
 		specMisses.Inc()
 		sp := stageEigen.Start()
-		dec, err := decompose(s.g, want, s.method, s.opts)
+		dec, err := decompose(ctx, s.g, want, s.method, s.opts)
 		sp.End()
 
 		s.mu.Lock()
@@ -200,7 +247,7 @@ func (s *Spectral) decomposition(k int) (*eigen.Decomposition, error) {
 }
 
 // decompose computes the k smallest eigenpairs of the method's matrix.
-func decompose(g *graph.Graph, k int, method Method, opts Options) (*eigen.Decomposition, error) {
+func decompose(ctx context.Context, g *graph.Graph, k int, method Method, opts Options) (*eigen.Decomposition, error) {
 	adj, err := g.AdjacencyCSR()
 	if err != nil {
 		return nil, err
@@ -237,5 +284,5 @@ func decompose(g *graph.Graph, k int, method Method, opts Options) (*eigen.Decom
 			dense = o.Dense()
 		}
 	}
-	return eigen.SmallestK(op, dense, k, opts.Seed)
+	return eigen.SmallestK(ctx, op, dense, k, opts.Seed)
 }

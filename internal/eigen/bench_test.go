@@ -1,6 +1,7 @@
 package eigen
 
 import (
+	"context"
 	"testing"
 
 	"roadpart/internal/linalg"
@@ -30,7 +31,7 @@ func BenchmarkLanczosRing5k(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Lanczos(CSROp{m}, 6, LanczosOptions{Seed: 1}); err != nil {
+		if _, err := Lanczos(context.Background(), CSROp{m}, 6, LanczosOptions{Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

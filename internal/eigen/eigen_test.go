@@ -1,6 +1,7 @@
 package eigen
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -249,7 +250,7 @@ func TestLanczosMatchesDense(t *testing.T) {
 			t.Fatal(err)
 		}
 		k := 4
-		dec, err := Lanczos(DenseOp{a}, k, LanczosOptions{Seed: 1})
+		dec, err := Lanczos(context.Background(), DenseOp{a}, k, LanczosOptions{Seed: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -264,11 +265,11 @@ func TestLanczosMatchesDense(t *testing.T) {
 
 func TestLanczosDeterministic(t *testing.T) {
 	a := randomSym(30, 9)
-	d1, err := Lanczos(DenseOp{a}, 3, LanczosOptions{Seed: 7})
+	d1, err := Lanczos(context.Background(), DenseOp{a}, 3, LanczosOptions{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	d2, err := Lanczos(DenseOp{a}, 3, LanczosOptions{Seed: 7})
+	d2, err := Lanczos(context.Background(), DenseOp{a}, 3, LanczosOptions{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func TestLanczosDisconnectedLaplacian(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dec, err := Lanczos(CSROp{m}, 3, LanczosOptions{Seed: 3})
+	dec, err := Lanczos(context.Background(), CSROp{m}, 3, LanczosOptions{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,17 +312,17 @@ func TestLanczosDisconnectedLaplacian(t *testing.T) {
 
 func TestLanczosErrors(t *testing.T) {
 	a := randomSym(4, 1)
-	if _, err := Lanczos(DenseOp{a}, 0, LanczosOptions{}); err == nil {
+	if _, err := Lanczos(context.Background(), DenseOp{a}, 0, LanczosOptions{}); err == nil {
 		t.Fatal("k=0 should error")
 	}
-	if _, err := Lanczos(DenseOp{a}, 5, LanczosOptions{}); err == nil {
+	if _, err := Lanczos(context.Background(), DenseOp{a}, 5, LanczosOptions{}); err == nil {
 		t.Fatal("k>n should error")
 	}
 }
 
 func TestSmallestKChoosesCorrectly(t *testing.T) {
 	a := randomSym(25, 77)
-	dec, err := SmallestK(DenseOp{a}, a, 3, 1)
+	dec, err := SmallestK(context.Background(), DenseOp{a}, a, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

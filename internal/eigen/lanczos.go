@@ -1,6 +1,7 @@
 package eigen
 
 import (
+	"context"
 	"fmt"
 
 	"roadpart/internal/linalg"
@@ -61,7 +62,15 @@ type LanczosOptions struct {
 // If the Krylov space exhausts the operator (an invariant subspace is found)
 // the iteration restarts with a fresh vector orthogonal to everything found
 // so far, so disconnected graphs are handled correctly.
-func Lanczos(a Op, k int, opts LanczosOptions) (*Decomposition, error) {
+//
+// ctx is the iteration budget: the loop checks it before every Krylov
+// step (each step is one operator application plus O(m·n) work) and
+// returns a clean error wrapping ctx.Err() when it expires, so a
+// pathological operator under a deadline degrades to an error instead of
+// spinning. The step count itself is always bounded by MaxSteps, and the
+// invariant-subspace restart tries at most five fresh directions, so even
+// with context.Background() the iteration terminates.
+func Lanczos(ctx context.Context, a Op, k int, opts LanczosOptions) (*Decomposition, error) {
 	n := a.Dim()
 	if k <= 0 {
 		return nil, fmt.Errorf("eigen: Lanczos needs k >= 1, got %d", k)
@@ -97,6 +106,9 @@ func Lanczos(a Op, k int, opts LanczosOptions) (*Decomposition, error) {
 	w := make([]float64, n)
 
 	for len(q) < m {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("eigen: Lanczos interrupted after %d of %d steps: %w", len(q), m, err)
+		}
 		q = append(q, linalg.Copy(v))
 		j := len(q) - 1
 
@@ -181,18 +193,24 @@ func Lanczos(a Op, k int, opts LanczosOptions) (*Decomposition, error) {
 
 // SmallestK returns the k smallest eigenpairs of op, choosing between the
 // dense solver and Lanczos based on the operator size. denseMat may be nil;
-// when non-nil and small enough it is decomposed directly.
-func SmallestK(op Op, denseMat *linalg.Dense, k int, seed uint64) (*Decomposition, error) {
+// when non-nil and small enough it is decomposed directly. ctx bounds the
+// work: the Lanczos path checks it between Krylov steps and the dense
+// path checks it before starting (one dense solve is the cancellation
+// grain — its O(n³) is bounded by the cutoff).
+func SmallestK(ctx context.Context, op Op, denseMat *linalg.Dense, k int, seed uint64) (*Decomposition, error) {
 	n := op.Dim()
 	const denseCutoff = 900
 	if denseMat != nil && n <= denseCutoff {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("eigen: dense solve not started: %w", err)
+		}
 		dec, err := SymEigen(denseMat)
 		if err != nil {
 			return nil, err
 		}
 		return truncate(dec, k), nil
 	}
-	return Lanczos(op, k, LanczosOptions{Seed: seed})
+	return Lanczos(ctx, op, k, LanczosOptions{Seed: seed})
 }
 
 // truncate keeps the first k eigenpairs of a full decomposition.

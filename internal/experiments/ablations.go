@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -211,7 +212,7 @@ func AblationEigen(k int, sizes ...int) (*AblationData, error) {
 		denseTime := time.Since(t0)
 
 		t0 = time.Now()
-		lancDec, err := eigen.Lanczos(op, k, eigen.LanczosOptions{Seed: 1})
+		lancDec, err := eigen.Lanczos(context.Background(), op, k, eigen.LanczosOptions{Seed: 1})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package kmeans
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -48,6 +49,14 @@ type NDOptions struct {
 // across opts.Restarts runs is returned, ties broken toward the lowest
 // restart index. The input is not modified.
 func ND(points [][]float64, k int, opts NDOptions) (*Result, error) {
+	return NDCtx(context.Background(), points, k, opts)
+}
+
+// NDCtx is ND with cooperative cancellation: restarts observe ctx between
+// runs (one restart — seeding plus its Lloyd iterations — is the
+// cancellation grain) and NDCtx returns ctx's error once it is done.
+// With an uncancelled ctx the result is bit-identical to ND.
+func NDCtx(ctx context.Context, points [][]float64, k int, opts NDOptions) (*Result, error) {
 	n := len(points)
 	if k < 1 {
 		return nil, fmt.Errorf("kmeans: ND needs k >= 1, got %d", k)
@@ -89,11 +98,13 @@ func ND(points [][]float64, k int, opts NDOptions) (*Result, error) {
 	}
 	base := opts.Seed ^ 0x5851f42d4c957f2d
 	results := make([]*Result, restarts)
-	parallel.For(restarts, opts.Workers, func(r int) {
+	if err := parallel.ForCtx(ctx, restarts, opts.Workers, func(r int) {
 		rng := prng{state: base + uint64(r)*draws*prngIncrement}
 		means := seed(points, k, opts.Seeding, &rng)
 		results[r] = lloyd(points, means, k, maxIter)
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("kmeans: ND interrupted: %w", err)
+	}
 	best := results[0]
 	var iters uint64
 	for _, res := range results {

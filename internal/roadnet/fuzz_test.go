@@ -2,18 +2,73 @@ package roadnet
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
+// seedFromTestdata adds every file matching glob under testdata/ to the
+// fuzz corpus, so the curated valid and hostile inputs checked into the
+// repo anchor each fuzzing run (and run as plain subtests under go test).
+func seedFromTestdata(f *testing.F, glob string) {
+	paths, err := filepath.Glob(filepath.Join("testdata", glob))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatalf("no testdata seeds match %q", glob)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+}
+
+// FuzzReadJSON asserts the network JSON reader never panics and that
+// every accepted network validates and survives a serialize/parse round
+// trip. Malformed, truncated or referentially broken inputs must come
+// back as errors — a service decoding untrusted bodies sits directly on
+// this path.
+func FuzzReadJSON(f *testing.F) {
+	seedFromTestdata(f, "*.json")
+	f.Add(`{}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`garbage`)
+	f.Add(`{"Intersections":null,"Segments":null}`)
+	f.Add(`{"Segments":[{"ID":0,"From":-1,"To":0,"Length":1,"Density":0}]}`)
+	f.Add(`{"Intersections":[{"ID":0,"X":1e999,"Y":0}],"Segments":[]}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		net, err := ReadJSON(strings.NewReader(src))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := net.Validate(); err != nil {
+			t.Fatalf("accepted network fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := net.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted network fails to serialize: %v", err)
+		}
+		if _, err := ReadJSON(&buf); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}
+
 // FuzzReadGeoJSON asserts the GeoJSON reader never panics and that every
 // accepted network validates and survives a JSON round trip.
 func FuzzReadGeoJSON(f *testing.F) {
+	seedFromTestdata(f, "*.geojson")
 	f.Add(`{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"LineString","coordinates":[[0,0],[10,0]]},"properties":{"density":0.5}}]}`)
 	f.Add(`{"type":"FeatureCollection","features":[]}`)
 	f.Add(`{"type":"Point"}`)
 	f.Add(`garbage`)
 	f.Add(`{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"LineString","coordinates":[[0,0],[0,0]]},"properties":{}}]}`)
+	f.Add(`{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"LineString","coordinates":[[0,0],[0,0,0]]},"properties":{}}]}`)
 	f.Fuzz(func(t *testing.T, src string) {
 		net, err := ReadGeoJSON(strings.NewReader(src), 1)
 		if err != nil {
@@ -36,6 +91,7 @@ func FuzzReadDensitiesCSV(f *testing.F) {
 	f.Add("0,0.5\n1,0.5\n2,0.5\n3,0.5\n")
 	f.Add("bogus")
 	f.Add("0,-1\n")
+	f.Add("0,NaN\n1,Inf\n2,1\n3,1\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		n := crossNet()
 		if err := n.ReadDensitiesCSV(strings.NewReader(src)); err != nil {

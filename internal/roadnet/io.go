@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 )
@@ -103,8 +104,8 @@ func (n *Network) ReadDensitiesCSV(r io.Reader) error {
 		if seen[id] {
 			return fmt.Errorf("roadnet: density CSV: duplicate segment %d", id)
 		}
-		if d < 0 {
-			return fmt.Errorf("roadnet: density CSV: negative density %v for segment %d", d, id)
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("roadnet: density CSV: invalid density %v for segment %d", d, id)
 		}
 		seen[id] = true
 		n.Segments[id].Density = d

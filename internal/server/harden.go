@@ -1,0 +1,199 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"roadpart/internal/obs"
+)
+
+// This file is the service's failure-containment layer: panic recovery,
+// admission control and per-request deadlines. The intent is that a
+// saturated or misbehaving client degrades the service to fast, explicit
+// error responses (408/429/499/503, each with its own counter) rather
+// than to unbounded queueing, wedged goroutines or a crashed process.
+
+// StatusClientClosedRequest reports that the client disconnected before
+// the response was ready (nginx's conventional 499). The response itself
+// is unreceivable; the status exists for the request log and metrics.
+const StatusClientClosedRequest = 499
+
+const (
+	// defaultMaxTimeout caps client-supplied timeout_ms when Config
+	// leaves MaxTimeout zero.
+	defaultMaxTimeout = 10 * time.Minute
+	// defaultQueueWait bounds a queued request's wait for an in-flight
+	// slot when Config leaves QueueWait zero.
+	defaultQueueWait = 5 * time.Second
+)
+
+// Failure-path accounting. Shed requests never reach a handler, so they
+// appear only here (plus the generic per-status request counter).
+var (
+	shedHelp        = "Requests shed by the admission controller, by reason."
+	reqShedFull     = obs.Default().Counter("roadpart_requests_shed_total", shedHelp, "reason", "queue_full")
+	reqShedTimeout  = obs.Default().Counter("roadpart_requests_shed_total", shedHelp, "reason", "queue_timeout")
+	reqCancelled    = obs.Default().Counter("roadpart_requests_cancelled_total", "Compute requests abandoned because the client disconnected.")
+	reqTimedOut     = obs.Default().Counter("roadpart_requests_timed_out_total", "Compute requests stopped by their deadline (server default or timeout_ms).")
+	panicsRecovered = obs.Default().Counter("roadpart_panics_recovered_total", "Handler panics converted to 500 responses.")
+	inflightGauge   = obs.Default().Gauge("roadpart_inflight_requests", "Admission-controlled requests currently computing.")
+	queueGauge      = obs.Default().Gauge("roadpart_queue_depth", "Admission-controlled requests waiting for an in-flight slot.")
+)
+
+// recoverPanics converts a handler panic into a 500 response and a
+// counter increment instead of killing the connection's goroutine with a
+// stack trace per request. http.ErrAbortHandler is re-raised: it is the
+// sanctioned way to abort a response and must keep its net/http meaning.
+func recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			panicsRecovered.Inc()
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", v))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// admissionControlled marks the endpoints whose work is unbounded in the
+// request (a partition of an arbitrary network). Cheap endpoints —
+// health, metrics, render — bypass admission so the service stays
+// observable while saturated.
+func admissionControlled(path string) bool {
+	return path == "/v1/partition" || path == "/v1/sweep"
+}
+
+func (s *service) queueWait() time.Duration {
+	if s.cfg.QueueWait > 0 {
+		return s.cfg.QueueWait
+	}
+	return defaultQueueWait
+}
+
+func (s *service) maxTimeout() time.Duration {
+	if s.cfg.MaxTimeout > 0 {
+		return s.cfg.MaxTimeout
+	}
+	return defaultMaxTimeout
+}
+
+// shed rejects a request with a Retry-After hint. The hint is the queue
+// wait: by then at least one queued request has either started or been
+// shed itself, so capacity may exist again.
+func (s *service) shed(w http.ResponseWriter, status int, err error) {
+	secs := int(s.queueWait().Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeErr(w, status, err)
+}
+
+// admit bounds the compute endpoints: at most MaxInFlight requests
+// partition concurrently, at most MaxQueue more wait (up to QueueWait)
+// for a slot, and everything beyond that is shed immediately — 429 when
+// the queue is full, 503 when the wait expires, 499 when the client
+// gives up while queued. MaxInFlight <= 0 disables the controller
+// entirely (the zero Config serves exactly as it did before admission
+// control existed).
+func (s *service) admit(next http.Handler) http.Handler {
+	if s.cfg.MaxInFlight <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !admissionControlled(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.slots <- struct{}{}:
+		default:
+			// Saturated: try the wait queue.
+			if int(s.queued.Add(1)) > s.cfg.MaxQueue {
+				s.queued.Add(-1)
+				reqShedFull.Inc()
+				s.shed(w, http.StatusTooManyRequests,
+					fmt.Errorf("server saturated: %d in flight and %d queued", s.cfg.MaxInFlight, s.cfg.MaxQueue))
+				return
+			}
+			queueGauge.Add(1)
+			wait := time.NewTimer(s.queueWait())
+			select {
+			case s.slots <- struct{}{}:
+				wait.Stop()
+				s.queued.Add(-1)
+				queueGauge.Add(-1)
+			case <-wait.C:
+				s.queued.Add(-1)
+				queueGauge.Add(-1)
+				reqShedTimeout.Inc()
+				s.shed(w, http.StatusServiceUnavailable,
+					fmt.Errorf("server saturated: no capacity freed within %v", s.queueWait()))
+				return
+			case <-r.Context().Done():
+				wait.Stop()
+				s.queued.Add(-1)
+				queueGauge.Add(-1)
+				reqCancelled.Inc()
+				writeErr(w, StatusClientClosedRequest, fmt.Errorf("client closed request while queued"))
+				return
+			}
+		}
+		inflightGauge.Add(1)
+		defer func() {
+			inflightGauge.Add(-1)
+			<-s.slots
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// requestContext derives the compute context for one request: the
+// client's timeout_ms (capped at MaxTimeout) when given, else the server
+// default; either way the context is cancelled when the client
+// disconnects. The returned budget is 0 when no deadline applies.
+func (s *service) requestContext(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc, time.Duration) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+		if max := s.maxTimeout(); d > max {
+			d = max
+		}
+	}
+	if d <= 0 {
+		ctx, cancel := context.WithCancel(r.Context())
+		return ctx, cancel, 0
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, d
+}
+
+// writeComputeErr maps a pipeline error to its HTTP status: a deadline
+// expiry is the request's fault or budget (408), a bare cancellation
+// means the client went away (499, written into the void but counted),
+// and anything else is a genuine compute rejection (422). Checked with
+// errors.Is, so the wrapped stage errors from core/cut/eigen all map
+// correctly.
+func writeComputeErr(w http.ResponseWriter, budget time.Duration, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		reqTimedOut.Inc()
+		writeErr(w, http.StatusRequestTimeout,
+			fmt.Errorf("request deadline (%v) exceeded: %w", budget, err))
+	case errors.Is(err, context.Canceled):
+		reqCancelled.Inc()
+		writeErr(w, StatusClientClosedRequest, err)
+	default:
+		writeErr(w, http.StatusUnprocessableEntity, err)
+	}
+}

@@ -13,7 +13,11 @@
 // Requests carry the network inline (the roadnet JSON schema). The
 // service is stateless; every request is independent. All requests flow
 // through an instrumentation middleware that records per-endpoint
-// latency and status-code counters into the internal/obs registry.
+// latency and status-code counters into the internal/obs registry, then
+// a panic-recovery net and (when configured) an admission controller
+// that bounds concurrent compute; each compute request runs under a
+// deadline-carrying context. Failure paths and their status codes
+// (408/429/499/503) are defined in harden.go and docs/API.md.
 package server
 
 import (
@@ -21,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"roadpart/internal/core"
@@ -48,6 +53,10 @@ type PartitionRequest struct {
 	// stages; 0 uses the server default. Results are identical for every
 	// worker count at the same seed.
 	Workers int `json:"workers,omitempty"`
+	// TimeoutMs bounds this request's compute time in milliseconds,
+	// capped at the server's MaxTimeout. 0 uses the server default.
+	// An exceeded budget returns 408 with the partial work discarded.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
 // PartitionResponse is the body of a successful partition call.
@@ -77,6 +86,9 @@ type SweepRequest struct {
 	// Workers bounds the goroutines serving this request's parallel
 	// stages; 0 uses the server default.
 	Workers int `json:"workers,omitempty"`
+	// TimeoutMs bounds this request's compute time in milliseconds,
+	// capped at the server's MaxTimeout. 0 uses the server default.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
 // SweepResponse reports per-k quality and the ANS-minimum selection.
@@ -103,19 +115,42 @@ type Config struct {
 	// GOMAXPROCS, 1 forces serial. A request's nonzero workers field
 	// overrides it.
 	Workers int
+	// DefaultTimeout bounds each compute request's pipeline work when
+	// the client sends no timeout_ms. 0 imposes no server-side deadline
+	// (the request is still cancelled if the client disconnects).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the client-supplied timeout_ms. 0 selects 10m.
+	MaxTimeout time.Duration
+	// MaxInFlight bounds concurrently computing partition/sweep
+	// requests. 0 disables admission control.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot; beyond it
+	// requests are shed with 429. Meaningful only with MaxInFlight > 0.
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot
+	// before being shed with 503. 0 selects 5s.
+	QueueWait time.Duration
 }
 
 // service carries the server configuration into the handlers.
 type service struct {
-	cfg Config
+	cfg    Config
+	slots  chan struct{} // in-flight tokens; nil when admission is off
+	queued atomic.Int64  // requests waiting for a slot
 }
 
 // New returns the service's HTTP handler with default configuration.
 func New() http.Handler { return NewWith(Config{}) }
 
-// NewWith returns the service's HTTP handler under cfg.
+// NewWith returns the service's HTTP handler under cfg. The handler
+// chain is instrument(recoverPanics(admit(mux))): accounting sees every
+// request including sheds and recovered panics, the panic net catches
+// anything below it, and admission bounds only the compute endpoints.
 func NewWith(cfg Config) http.Handler {
 	s := &service{cfg: cfg}
+	if cfg.MaxInFlight > 0 {
+		s.slots = make(chan struct{}, cfg.MaxInFlight)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", handleHealth)
 	mux.HandleFunc("/v1/partition", s.handlePartition)
@@ -123,7 +158,7 @@ func NewWith(cfg Config) http.Handler {
 	mux.HandleFunc("/v1/render", handleRender)
 	mux.HandleFunc("/v1/metrics", handleMetrics)
 	mux.HandleFunc("/v1/stats", handleStats)
-	return instrument(mux)
+	return instrument(recoverPanics(s.admit(mux)))
 }
 
 // workers resolves a request-level override against the server default.
@@ -209,10 +244,12 @@ func (s *service) handlePartition(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	ctx, cancel, budget := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
 	t0 := time.Now()
-	res, err := core.Partition(req.Network, cfg)
+	res, err := core.PartitionCtx(ctx, req.Network, cfg)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeComputeErr(w, budget, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, PartitionResponse{
@@ -248,9 +285,11 @@ func (s *service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	p, err := core.NewPipeline(req.Network, cfg)
+	ctx, cancel, budget := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	p, err := core.NewPipelineCtx(ctx, req.Network, cfg)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeComputeErr(w, budget, err)
 		return
 	}
 	kMin, kMax := req.KMin, req.KMax
@@ -267,9 +306,9 @@ func (s *service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("network supports no k in [%d,%d]", req.KMin, req.KMax))
 		return
 	}
-	best, sweep, err := p.BestKByANS(kMin, kMax)
+	best, sweep, err := p.BestKByANSCtx(ctx, kMin, kMax)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeComputeErr(w, budget, err)
 		return
 	}
 	resp := SweepResponse{BestK: best}

@@ -12,6 +12,7 @@
 package supergraph
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -114,6 +115,16 @@ type MineOptions struct {
 // (densities) are given by features. It implements Algorithm 1 end to end,
 // with the optional Algorithm 2 stability pass.
 func Mine(g *graph.Graph, features []float64, opts MineOptions) (*Supergraph, error) {
+	return MineCtx(context.Background(), g, features, opts)
+}
+
+// MineCtx is Mine with cooperative cancellation. ctx is observed between
+// the work items of every mining stage — each κ of the sampled shortlist
+// sweep, each shortlisted κ's full-data clustering, and each supernode
+// pop of the stability-split loop — so cancellation latency is bounded by
+// one clustering run. With an uncancelled ctx the mined supergraph is
+// bit-identical to Mine's.
+func MineCtx(ctx context.Context, g *graph.Graph, features []float64, opts MineOptions) (*Supergraph, error) {
 	n := g.N()
 	if len(features) != n {
 		return nil, fmt.Errorf("supergraph: %d features for %d nodes", len(features), n)
@@ -127,7 +138,7 @@ func Mine(g *graph.Graph, features []float64, opts MineOptions) (*Supergraph, er
 
 	// Stage 1: sampled κ-sweep, shortlist by MCG (Alg. 1 lines 3–9).
 	spShortlist := stageShortlist.Start()
-	sw, err := cluster.SweepKappa(features, cluster.SweepOptions{
+	sw, err := cluster.SweepKappaCtx(ctx, features, cluster.SweepOptions{
 		KappaMax:   opts.KappaMax,
 		SampleSize: opts.SampleSize,
 		Seed:       opts.Seed,
@@ -160,6 +171,9 @@ func Mine(g *graph.Graph, features []float64, opts MineOptions) (*Supergraph, er
 	var bestMeans []float64
 	chosen := 0
 	for _, kappa := range shortlist {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("supergraph: full clustering interrupted at κ=%d: %w", kappa, err)
+		}
 		res, err := kmeans.OneD(features, kappa, 0)
 		if err != nil {
 			return nil, fmt.Errorf("supergraph: κ=%d: %w", kappa, err)
@@ -202,8 +216,12 @@ func Mine(g *graph.Graph, features []float64, opts MineOptions) (*Supergraph, er
 	// Optional stability pass (Algorithm 2).
 	if opts.StabilityEps > 0 {
 		spStab := stageStability.Start()
-		nodes, stats.Splits = stabilize(g, features, nodes, opts.StabilityEps)
+		var err error
+		nodes, stats.Splits, err = stabilize(ctx, g, features, nodes, opts.StabilityEps)
 		spStab.End()
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Superlink construction accrues to the merge stage: it completes the
@@ -247,12 +265,17 @@ func Stability(memberFeatures []float64) float64 {
 // supernode, which would violate condition C.2 downstream; component
 // extraction restores the invariant at no asymptotic cost), and the parts
 // are pushed back for re-checking, LIFO, until everything is stable.
-func stabilize(g *graph.Graph, features []float64, nodes []Supernode, epsEta float64) ([]Supernode, int) {
+// ctx is observed once per popped supernode; on cancellation the partial
+// split state is discarded and the context error returned.
+func stabilize(ctx context.Context, g *graph.Graph, features []float64, nodes []Supernode, epsEta float64) ([]Supernode, int, error) {
 	stack := make([]Supernode, len(nodes))
 	copy(stack, nodes)
 	var out []Supernode
 	splits := 0
 	for len(stack) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, fmt.Errorf("supergraph: stability split interrupted: %w", err)
+		}
 		sn := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 
@@ -292,7 +315,7 @@ func stabilize(g *graph.Graph, features []float64, nodes []Supernode, epsEta flo
 			}
 		}
 	}
-	return out, splits
+	return out, splits, nil
 }
 
 // splitComponents returns the connected components of the subgraph of g

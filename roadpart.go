@@ -1,6 +1,7 @@
 package roadpart
 
 import (
+	"context"
 	"io"
 
 	"roadpart/internal/core"
@@ -119,10 +120,27 @@ func Partition(net *Network, cfg Config) (*Result, error) {
 	return core.Partition(net, cfg)
 }
 
+// PartitionCtx is Partition with cooperative cancellation: every stage of
+// the pipeline — supergraph mining, the eigensolve, k-means, partition
+// refinement — observes ctx between bounded work items and returns an
+// error wrapping ctx.Err() once it is done. An uncancelled call is
+// bit-identical to Partition.
+func PartitionCtx(ctx context.Context, net *Network, cfg Config) (*Result, error) {
+	return core.PartitionCtx(ctx, net, cfg)
+}
+
 // NewPipeline runs the k-independent stages once so several k values (or
 // BestKByANS) can be evaluated cheaply.
 func NewPipeline(net *Network, cfg Config) (*Pipeline, error) {
 	return core.NewPipeline(net, cfg)
+}
+
+// NewPipelineCtx is NewPipeline with cooperative cancellation of the
+// k-independent stages (graph construction and supergraph mining). The
+// returned Pipeline's PartitionKCtx, SweepKCtx and BestKByANSCtx methods
+// accept per-call contexts.
+func NewPipelineCtx(ctx context.Context, net *Network, cfg Config) (*Pipeline, error) {
+	return core.NewPipelineCtx(ctx, net, cfg)
 }
 
 // DualGraph builds the road graph (Definition 2): one node per segment,
