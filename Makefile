@@ -1,13 +1,16 @@
 # Standard developer entry points. `make verify` is the gate a change
 # must pass before review: build, vet, the full test suite, the race
 # detector over the whole module (short mode keeps the race pass fast),
-# a fuzz smoke pass over the untrusted-input parsers, and the docs
+# a fuzz smoke pass over the untrusted-input parsers, a benchmark-harness
+# smoke check (one short benchmark through cmd/benchdiff), and the docs
 # checks (gofmt drift + relative-link rot in *.md).
 
 GO ?= go
 FUZZTIME ?= 10s
+BENCHTIME ?= 1x
+BENCH ?= .
 
-.PHONY: build vet test race bench fuzz-smoke docs-check verify
+.PHONY: build vet test race bench bench-smoke fuzz-smoke docs-check verify
 
 build:
 	$(GO) build ./...
@@ -21,8 +24,29 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# bench runs the paper-protocol benchmark suite with allocation stats and
+# snapshots the results to the next free BENCH_<n>.json via cmd/benchdiff.
+# Compare two snapshots with:
+#   go run ./cmd/benchdiff BENCH_1.json BENCH_2.json
+# See docs/PERFORMANCE.md for the workflow and thresholds.
 bench:
-	$(GO) test -bench . -benchtime 1x -run ^$$ .
+	@n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
+	$(GO) test -bench $(BENCH) -benchtime $(BENCHTIME) -benchmem -run '^$$' . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchdiff -snapshot -o BENCH_$$n.json \
+		&& echo "wrote BENCH_$$n.json"
+
+# bench-smoke is the verify-gate check for the benchmark harness: one
+# short benchmark runs with -benchmem, its text output round-trips
+# through benchdiff's snapshot parser, and the snapshot self-compares
+# cleanly. It proves the harness end to end without the cost of the
+# full suite.
+bench-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) test -bench '^BenchmarkEigenDense300$$' -benchtime 1x -benchmem -run '^$$' . > "$$tmp/bench.txt" && \
+	$(GO) run ./cmd/benchdiff -snapshot -o "$$tmp/a.json" "$$tmp/bench.txt" && \
+	$(GO) run ./cmd/benchdiff "$$tmp/a.json" "$$tmp/a.json" >/dev/null && \
+	echo "bench-smoke: snapshot + self-compare OK"
 
 # fuzz-smoke runs each roadnet fuzz target for FUZZTIME (default 10s).
 # Go allows one -fuzz target per invocation, so the targets run in
@@ -42,4 +66,4 @@ docs-check:
 	$(GO) vet ./...
 	$(GO) test -run TestDocsLinks .
 
-verify: build vet test race fuzz-smoke docs-check
+verify: build vet test race fuzz-smoke bench-smoke docs-check

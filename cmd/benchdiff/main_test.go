@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: roadpart
+cpu: Some CPU @ 2.40GHz
+BenchmarkFig7-4          	       1	118969338 ns/op	 9743360 B/op	   22969 allocs/op
+BenchmarkTable3-4        	       1	578646637 ns/op	31152904 B/op	   73645 allocs/op
+BenchmarkNorm2-4         	20000000	         3.25 ns/op
+PASS
+ok  	roadpart	12.3s
+`
+
+func TestParseText(t *testing.T) {
+	snap, err := parseText(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" {
+		t.Fatalf("platform not parsed: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	fig7 := snap.Benchmarks[0]
+	if fig7.Name != "BenchmarkFig7" || fig7.Procs != 4 {
+		t.Fatalf("name/procs not split: %+v", fig7)
+	}
+	if fig7.NsPerOp != 118969338 || fig7.BytesPerOp != 9743360 || fig7.AllocsPerOp != 22969 {
+		t.Fatalf("metrics wrong: %+v", fig7)
+	}
+	if norm := snap.Benchmarks[2]; norm.NsPerOp != 3.25 || norm.BytesPerOp != 0 {
+		t.Fatalf("ns-only line wrong: %+v", norm)
+	}
+}
+
+func TestParseTextRejectsEmpty(t *testing.T) {
+	if _, err := parseText(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("expected error for input without benchmarks")
+	}
+}
+
+func mkSnap(name string, ns, bytes float64) *Snapshot {
+	return &Snapshot{Schema: schemaV1, Benchmarks: []Benchmark{
+		{Name: name, Iterations: 1, NsPerOp: ns, BytesPerOp: bytes},
+	}}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	rows, failures := compare(mkSnap("BenchmarkX", 100, 1000), mkSnap("BenchmarkX", 105, 900), 0.10, 0.10)
+	if failures != 0 {
+		t.Fatalf("unexpected failures: %+v", rows)
+	}
+	if rows[0].timeDelta != 0.05 {
+		t.Fatalf("timeDelta = %v", rows[0].timeDelta)
+	}
+}
+
+func TestCompareFailsOverThreshold(t *testing.T) {
+	_, failures := compare(mkSnap("BenchmarkX", 100, 1000), mkSnap("BenchmarkX", 150, 1000), 0.10, 0.10)
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1", failures)
+	}
+}
+
+func TestCompareNegativeThresholdDemandsImprovement(t *testing.T) {
+	// -0.30 on bytes: a 20% reduction is not enough.
+	_, failures := compare(mkSnap("BenchmarkX", 100, 1000), mkSnap("BenchmarkX", 100, 800), 0.10, -0.30)
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 (20%% < required 30%% cut)", failures)
+	}
+	_, failures = compare(mkSnap("BenchmarkX", 100, 1000), mkSnap("BenchmarkX", 100, 600), 0.10, -0.30)
+	if failures != 0 {
+		t.Fatalf("failures = %d, want 0 (40%% cut clears -30%%)", failures)
+	}
+}
+
+func TestCompareAddedRemovedNotFailures(t *testing.T) {
+	old := mkSnap("BenchmarkGone", 100, 0)
+	new := mkSnap("BenchmarkNew", 100, 0)
+	rows, failures := compare(old, new, 0, 0)
+	if failures != 0 {
+		t.Fatalf("added/removed counted as failures: %+v", rows)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+}
+
+func TestSnapshotCompareRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.json")
+	if err := runSnapshot(path, strings.NewReader(sampleBench)); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	code, err := runCompare(&sb, path, path, 0.0, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("self-compare exit %d:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "BenchmarkFig7") {
+		t.Fatalf("table missing benchmark:\n%s", sb.String())
+	}
+}
+
+func TestLoadSnapshotRejectsBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9","benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSnapshot(path); err == nil {
+		t.Fatal("expected schema error")
+	}
+}

@@ -17,18 +17,7 @@ var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
 // It is the link-rot gate behind `make docs-check`; external URLs are
 // not fetched.
 func TestDocsLinks(t *testing.T) {
-	var files []string
-	for _, glob := range []string{"*.md", "docs/*.md", "docs/**/*.md"} {
-		m, err := filepath.Glob(glob)
-		if err != nil {
-			t.Fatal(err)
-		}
-		files = append(files, m...)
-	}
-	if len(files) == 0 {
-		t.Fatal("no markdown files found — test running from the wrong directory?")
-	}
-
+	files := markdownFiles(t)
 	checked := 0
 	for _, file := range files {
 		data, err := os.ReadFile(file)
@@ -54,4 +43,124 @@ func TestDocsLinks(t *testing.T) {
 		}
 	}
 	t.Logf("checked %d relative links across %d markdown files", checked, len(files))
+}
+
+// markdownFiles returns every tracked Markdown file in the repository
+// root and docs/ tree, failing the test if none are found.
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	for _, glob := range []string{"*.md", "docs/*.md", "docs/**/*.md"} {
+		m, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, m...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found — test running from the wrong directory?")
+	}
+	return files
+}
+
+// makeMention matches `make <target>` inside a Markdown code span or
+// fenced block. Restricting to word characters and dashes keeps prose
+// like "make sure" out: those never appear as `make xyz` in backticks
+// or as a command line.
+var makeMention = regexp.MustCompile("(?m)(?:`|^[ \t]*\\$? ?)make ([a-z][a-z0-9-]*)")
+
+// makefileTarget matches a rule definition line in the Makefile.
+var makefileTarget = regexp.MustCompile(`(?m)^([a-z][a-z0-9-]*):`)
+
+// TestDocsMakeTargetsExist cross-checks every `make <target>` mention in
+// the repository's Markdown against the Makefile's actual rules, so docs
+// cannot advertise a target that was renamed or removed.
+func TestDocsMakeTargetsExist(t *testing.T) {
+	mk, err := os.ReadFile("Makefile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := map[string]bool{}
+	for _, m := range makefileTarget.FindAllStringSubmatch(string(mk), -1) {
+		targets[m[1]] = true
+	}
+	if len(targets) == 0 {
+		t.Fatal("no targets parsed from Makefile")
+	}
+
+	mentions := 0
+	for _, file := range markdownFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range makeMention.FindAllStringSubmatch(string(data), -1) {
+			mentions++
+			if !targets[m[1]] {
+				t.Errorf("%s mentions `make %s` but the Makefile has no %q target", file, m[1], m[1])
+			}
+		}
+	}
+	if mentions == 0 {
+		t.Fatal("no `make <target>` mentions found in any markdown file — regex drift?")
+	}
+	t.Logf("checked %d make-target mentions against %d Makefile targets", mentions, len(targets))
+}
+
+// benchMention matches a Go benchmark identifier in prose or code.
+var benchMention = regexp.MustCompile(`\bBenchmark[A-Z]\w*`)
+
+// benchDecl matches a benchmark function declaration in a _test.go file.
+var benchDecl = regexp.MustCompile(`(?m)^func (Benchmark[A-Z]\w*)\(`)
+
+// TestPerformanceDocBenchmarksExist verifies that every benchmark named
+// in docs/PERFORMANCE.md is declared in some _test.go file, so the
+// performance documentation cannot reference benchmarks that no longer
+// run under `make bench`.
+func TestPerformanceDocBenchmarksExist(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("docs", "PERFORMANCE.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mentioned := map[string]bool{}
+	for _, m := range benchMention.FindAllString(string(doc), -1) {
+		mentioned[m] = true
+	}
+	if len(mentioned) == 0 {
+		t.Fatal("docs/PERFORMANCE.md names no benchmarks — regex drift?")
+	}
+
+	declared := map[string]bool{}
+	err = filepath.Walk(".", func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if name := info.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range benchDecl.FindAllStringSubmatch(string(data), -1) {
+			declared[m[1]] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name := range mentioned {
+		if !declared[name] {
+			t.Errorf("docs/PERFORMANCE.md names %s but no _test.go file declares it", name)
+		}
+	}
+	t.Logf("checked %d benchmark names against %d declared benchmarks", len(mentioned), len(declared))
 }

@@ -78,16 +78,21 @@ func SweepKappaCtx(ctx context.Context, data []float64, opts SweepOptions) (*Swe
 		sampleN = n
 	}
 
+	// One clustering scratch and one means buffer serve the whole sweep;
+	// Measure reads them and retains nothing, so per-κ allocations are
+	// limited to the recorded SweepPoint.
 	sw := &Sweep{SampleN: sampleN}
+	var ks kmeans.Scratch
+	meansBuf := make([]float64, hi)
 	for kappa := lo; kappa <= hi; kappa++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("cluster: κ-sweep interrupted at κ=%d: %w", kappa, err)
 		}
-		res, err := kmeans.OneD(sample, kappa, 0)
+		res, err := ks.OneD(sample, kappa, 0)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: κ=%d: %w", kappa, err)
 		}
-		means := make([]float64, kappa)
+		means := meansBuf[:kappa]
 		for c := 0; c < kappa; c++ {
 			means[c] = res.Mean1(c)
 		}

@@ -1,0 +1,60 @@
+package cut
+
+import (
+	"sync"
+
+	"roadpart/internal/obs"
+)
+
+// embedBuf backs one spectral embedding — n rows of k coordinates in a
+// single flat array — so every Partition call (and every bipartition of
+// the k′→k reduction) reuses the same memory instead of allocating n
+// small row slices. The embedding is dead once k-means has clustered it
+// (plus the degenerate-embedding fallback in bipartition), so callers
+// return the buffer to the pool immediately afterwards; k-means results
+// never alias it.
+type embedBuf struct {
+	back []float64
+	rows [][]float64
+}
+
+// shape sizes the buffer for an n×k embedding and returns the row views.
+// Contents are unspecified; the embedding pass overwrites every row.
+func (b *embedBuf) shape(n, k int) [][]float64 {
+	if cap(b.back) < n*k {
+		b.back = make([]float64, n*k)
+	}
+	b.back = b.back[:n*k]
+	if cap(b.rows) < n {
+		b.rows = make([][]float64, n)
+	}
+	b.rows = b.rows[:n]
+	for i := 0; i < n; i++ {
+		b.rows[i] = b.back[i*k : (i+1)*k]
+	}
+	return b.rows
+}
+
+// footprint returns the buffer capacity in bytes, for the pool's
+// bytes-reused accounting.
+func (b *embedBuf) footprint() int {
+	return 8 * cap(b.back)
+}
+
+var (
+	embedPool  sync.Pool
+	embedTally = obs.NewPoolTally("cut_embed")
+)
+
+func getEmbedBuf() *embedBuf {
+	if b, ok := embedPool.Get().(*embedBuf); ok {
+		embedTally.Hit(b.footprint())
+		return b
+	}
+	embedTally.Miss()
+	return &embedBuf{}
+}
+
+func putEmbedBuf(b *embedBuf) {
+	embedPool.Put(b)
+}

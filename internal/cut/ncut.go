@@ -16,6 +16,7 @@ import (
 type NCutOp struct {
 	A       *linalg.CSR
 	invSqrt []float64 // D^{-1/2}, 0 for isolated nodes
+	tmp     []float64 // scratch for Apply; an op serves one eigensolve at a time
 }
 
 // NewNCutOp wraps the symmetric weighted adjacency matrix adj.
@@ -30,16 +31,19 @@ func NewNCutOp(adj *linalg.CSR) (*NCutOp, error) {
 			inv[i] = 1 / math.Sqrt(v)
 		}
 	}
-	return &NCutOp{A: adj, invSqrt: inv}, nil
+	return &NCutOp{A: adj, invSqrt: inv, tmp: make([]float64, adj.Rows())}, nil
 }
 
 // Dim returns the operator order.
 func (op *NCutOp) Dim() int { return op.A.Rows() }
 
-// Apply computes dst = x − D^{−1/2} A D^{−1/2} x.
+// Apply computes dst = x − D^{−1/2} A D^{−1/2} x. The op-owned scratch
+// keeps Apply allocation-free; like the operator's cached degree vector,
+// it makes a single NCutOp unsafe for concurrent Apply calls (each
+// eigensolve builds its own op, so the pipeline never shares one).
 func (op *NCutOp) Apply(dst, x []float64) {
 	n := op.Dim()
-	tmp := make([]float64, n)
+	tmp := op.tmp
 	for i := 0; i < n; i++ {
 		tmp[i] = op.invSqrt[i] * x[i]
 	}

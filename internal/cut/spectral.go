@@ -145,18 +145,24 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, k int, method Method, opt
 		return &Result{Assign: make([]int, n), K: 1, KPrime: 1}, nil
 	}
 
-	rows, err := embed(ctx, g, k, method, opts)
+	eb := getEmbedBuf()
+	rows, err := embed(ctx, g, k, method, opts, eb)
 	if err != nil {
+		putEmbedBuf(eb)
 		return nil, err
 	}
 	km, err := kmeans.NDCtx(ctx, rows, k, opts.kmeansOptions())
+	putEmbedBuf(eb) // the embedding is dead once clustered
 	if err != nil {
 		return nil, err
 	}
 
 	// Alg. 3 line 11: connected components inside each spectral cluster
 	// become disjoint partitions.
-	labels, kPrime := g.GroupComponents(km.Assign)
+	lbuf := linalg.GetInts(n)
+	defer linalg.PutInts(lbuf)
+	kPrime := g.GroupComponentsInto(km.Assign, lbuf)
+	labels := lbuf
 	res := &Result{KPrime: kPrime}
 
 	switch {
@@ -177,19 +183,18 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, k int, method Method, opt
 
 // embed computes the row-normalized spectral embedding Z (Alg. 3 lines
 // 1–8): n rows of k coordinates from the k smallest eigenvectors of the
-// method's matrix.
-func embed(ctx context.Context, g *graph.Graph, k int, method Method, opts Options) ([][]float64, error) {
+// method's matrix. The rows live in eb, which the caller returns to the
+// pool once the embedding has been consumed.
+func embed(ctx context.Context, g *graph.Graph, k int, method Method, opts Options, eb *embedBuf) ([][]float64, error) {
 	dec, err := decompose(ctx, g, k, method, opts)
 	if err != nil {
 		return nil, err
 	}
 	cols := len(dec.Values)
-	rows := make([][]float64, g.N())
+	rows := eb.shape(g.N(), cols)
 	for i := range rows {
-		r := make([]float64, cols)
-		copy(r, dec.Vectors[i*cols:(i+1)*cols])
-		linalg.Normalize(r) // Equation 8 row normalization
-		rows[i] = r
+		copy(rows[i], dec.Vectors[i*cols:(i+1)*cols])
+		linalg.Normalize(rows[i]) // Equation 8 row normalization
 	}
 	return rows, nil
 }
@@ -341,7 +346,9 @@ func bipartition(ctx context.Context, g *graph.Graph, method Method, opts Option
 	if n == 2 {
 		return []int{0, 1}, nil
 	}
-	rows, err := embed(ctx, g, 2, method, opts)
+	eb := getEmbedBuf()
+	defer putEmbedBuf(eb) // the degenerate fallback below still reads rows
+	rows, err := embed(ctx, g, 2, method, opts, eb)
 	if err != nil {
 		return nil, err
 	}

@@ -88,15 +88,21 @@ func (s *Spectral) PartitionCtx(ctx context.Context, k int) (*Result, error) {
 	if k == 1 {
 		return &Result{Assign: make([]int, n), K: 1, KPrime: 1}, nil
 	}
-	rows, err := s.rows(ctx, k)
+	eb := getEmbedBuf()
+	rows, err := s.rows(ctx, k, eb)
 	if err != nil {
+		putEmbedBuf(eb)
 		return nil, err
 	}
 	km, err := kmeans.NDCtx(ctx, rows, k, s.opts.kmeansOptions())
+	putEmbedBuf(eb) // the embedding is dead once clustered
 	if err != nil {
 		return nil, err
 	}
-	labels, kPrime := s.g.GroupComponents(km.Assign)
+	lbuf := linalg.GetInts(n)
+	defer linalg.PutInts(lbuf)
+	kPrime := s.g.GroupComponentsInto(km.Assign, lbuf)
+	labels := lbuf
 	res := &Result{KPrime: kPrime}
 	switch {
 	case kPrime > k && !s.opts.AcceptKPrime:
@@ -136,20 +142,19 @@ func (s *Spectral) WarmCtx(ctx context.Context, k int) error {
 }
 
 // rows returns the row-normalized k-column spectral embedding, extending
-// the cached decomposition when it is too narrow.
-func (s *Spectral) rows(ctx context.Context, k int) ([][]float64, error) {
+// the cached decomposition when it is too narrow. The rows live in eb,
+// which the caller repools once the embedding has been consumed.
+func (s *Spectral) rows(ctx context.Context, k int, eb *embedBuf) ([][]float64, error) {
 	dec, err := s.decomposition(ctx, k)
 	if err != nil {
 		return nil, err
 	}
 	cols := len(dec.Values)
 	n := s.g.N()
-	rows := make([][]float64, n)
+	rows := eb.shape(n, k)
 	for i := 0; i < n; i++ {
-		r := make([]float64, k)
-		copy(r, dec.Vectors[i*cols:i*cols+k])
-		linalg.Normalize(r)
-		rows[i] = r
+		copy(rows[i], dec.Vectors[i*cols:i*cols+k])
+		linalg.Normalize(rows[i])
 	}
 	return rows, nil
 }

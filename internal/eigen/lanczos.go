@@ -70,7 +70,20 @@ type LanczosOptions struct {
 // spinning. The step count itself is always bounded by MaxSteps, and the
 // invariant-subspace restart tries at most five fresh directions, so even
 // with context.Background() the iteration terminates.
+//
+// Lanczos draws its scratch from the package workspace pool, so
+// steady-state runs allocate only the returned Decomposition; pass an
+// explicit workspace to LanczosWS to manage reuse yourself.
 func Lanczos(ctx context.Context, a Op, k int, opts LanczosOptions) (*Decomposition, error) {
+	return LanczosWS(ctx, a, k, opts, nil)
+}
+
+// LanczosWS is Lanczos computing in the given workspace. ws may be dirty
+// (every buffer read is first overwritten or zeroed, so reuse is
+// bit-identical to a fresh workspace) but must not be shared by
+// concurrent calls. A nil ws borrows one from the package pool for the
+// duration of the call.
+func LanczosWS(ctx context.Context, a Op, k int, opts LanczosOptions, ws *Workspace) (*Decomposition, error) {
 	n := a.Dim()
 	if k <= 0 {
 		return nil, fmt.Errorf("eigen: Lanczos needs k >= 1, got %d", k)
@@ -97,77 +110,64 @@ func Lanczos(ctx context.Context, a Op, k int, opts LanczosOptions) (*Decomposit
 	}
 	rng := splitmix64{state: opts.Seed ^ 0x9e3779b97f4a7c15}
 
-	// Krylov basis, stored as m rows of length n.
-	q := make([][]float64, 0, m)
-	alpha := make([]float64, 0, m)
-	beta := make([]float64, 0, m) // beta[i] couples steps i and i+1
+	if ws == nil {
+		ws = getWorkspace()
+		defer putWorkspace(ws)
+	}
+	ws.reset(n, m)
+	alpha := ws.alpha[:0]
+	beta := ws.beta[:0] // beta[i] couples steps i and i+1
 
-	v := randUnit(&rng, n)
-	w := make([]float64, n)
-
-	for len(q) < m {
+	randUnitInto(&rng, ws.v)
+	steps := 0
+	for steps < m {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("eigen: Lanczos interrupted after %d of %d steps: %w", len(q), m, err)
+			return nil, fmt.Errorf("eigen: Lanczos interrupted after %d of %d steps: %w", steps, m, err)
 		}
-		q = append(q, linalg.Copy(v))
-		j := len(q) - 1
+		j := steps
+		steps++ // basis row j is occupied by ws.step
 
-		a.Apply(w, v)
-		al := linalg.Dot(w, v)
+		var betaPrev float64
+		if j > 0 {
+			betaPrev = beta[j-1]
+		}
+		al, b := ws.step(a, j, betaPrev)
 		alpha = append(alpha, al)
 
-		// w -= alpha*q[j] + beta*q[j-1], then fully reorthogonalize twice.
-		linalg.Axpy(-al, q[j], w)
-		if j > 0 {
-			linalg.Axpy(-beta[j-1], q[j-1], w)
-		}
-		for pass := 0; pass < 2; pass++ {
-			for _, qi := range q {
-				linalg.Axpy(-linalg.Dot(w, qi), qi, w)
-			}
-		}
-
-		b := linalg.Norm2(w)
 		if j+1 == m {
 			break
 		}
 		if b < 1e-12 {
 			// Invariant subspace found: restart with a fresh direction
 			// orthogonal to the current basis.
-			restarted := false
-			for attempt := 0; attempt < 5; attempt++ {
-				cand := randUnit(&rng, n)
-				for pass := 0; pass < 2; pass++ {
-					for _, qi := range q {
-						linalg.Axpy(-linalg.Dot(cand, qi), qi, cand)
-					}
-				}
-				if linalg.Normalize(cand) > 1e-8 {
-					copy(w, cand)
-					b = 0
-					restarted = true
-					break
-				}
-			}
-			if !restarted {
+			if !ws.restart(&rng, j) {
 				break // the whole space is spanned; T is complete
 			}
 			beta = append(beta, 0)
-			copy(v, w)
+			copy(ws.v, ws.w)
 			continue
 		}
 		beta = append(beta, b)
-		for i := range w {
-			v[i] = w[i] / b
+		for i := range ws.w {
+			ws.v[i] = ws.w[i] / b
 		}
 	}
 
-	steps := len(q)
 	// Solve the tridiagonal Ritz problem T s = θ s.
-	d := linalg.Copy(alpha)
-	e := make([]float64, steps)
+	d := ws.d[:steps]
+	copy(d, alpha)
+	e := ws.e[:steps]
+	for i := range e {
+		e[i] = 0
+	}
 	copy(e, beta)
-	z := identity(steps)
+	z := ws.z[:steps*steps]
+	for i := range z {
+		z[i] = 0
+	}
+	for i := 0; i < steps; i++ {
+		z[i*steps+i] = 1
+	}
 	if err := SymTridEigen(d, e, z, steps); err != nil {
 		return nil, err
 	}
@@ -175,20 +175,27 @@ func Lanczos(ctx context.Context, a Op, k int, opts LanczosOptions) (*Decomposit
 		k = steps
 	}
 
-	// Assemble the k smallest Ritz pairs: y_j = Q · s_j.
+	// Assemble the k smallest Ritz pairs: y_j = Q · s_j. The outputs are
+	// freshly allocated — a Decomposition outlives (and is cached beyond)
+	// the workspace that produced it.
 	vec := make([]float64, n*k)
+	col := ws.col
 	for j := 0; j < k; j++ {
-		col := make([]float64, n)
+		for i := range col {
+			col[i] = 0
+		}
 		for i := 0; i < steps; i++ {
-			linalg.Axpy(z[i*steps+j], q[i], col)
+			linalg.Axpy(z[i*steps+j], ws.q[i], col)
 		}
 		linalg.Normalize(col)
 		for i := 0; i < n; i++ {
 			vec[i*k+j] = col[i]
 		}
 	}
+	vals := make([]float64, k)
+	copy(vals, d[:k])
 	_ = tol // convergence is guaranteed by steps ≥ 4k+30 or full Krylov space
-	return &Decomposition{N: n, Values: d[:k], Vectors: vec}, nil
+	return &Decomposition{N: n, Values: vals, Vectors: vec}, nil
 }
 
 // SmallestK returns the k smallest eigenpairs of op, choosing between the
@@ -204,26 +211,9 @@ func SmallestK(ctx context.Context, op Op, denseMat *linalg.Dense, k int, seed u
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("eigen: dense solve not started: %w", err)
 		}
-		dec, err := SymEigen(denseMat)
-		if err != nil {
-			return nil, err
-		}
-		return truncate(dec, k), nil
+		return symEigenK(denseMat, k)
 	}
 	return Lanczos(ctx, op, k, LanczosOptions{Seed: seed})
-}
-
-// truncate keeps the first k eigenpairs of a full decomposition.
-func truncate(d *Decomposition, k int) *Decomposition {
-	if k >= len(d.Values) {
-		return d
-	}
-	cols := len(d.Values)
-	vec := make([]float64, d.N*k)
-	for i := 0; i < d.N; i++ {
-		copy(vec[i*k:(i+1)*k], d.Vectors[i*cols:i*cols+k])
-	}
-	return &Decomposition{N: d.N, Values: d.Values[:k], Vectors: vec}
 }
 
 // identity returns a new n×n row-major identity matrix.
@@ -252,6 +242,13 @@ func (s *splitmix64) float64() float64 {
 
 func randUnit(rng *splitmix64, n int) []float64 {
 	v := make([]float64, n)
+	randUnitInto(rng, v)
+	return v
+}
+
+// randUnitInto fills v with a deterministic pseudo-random unit vector,
+// overwriting any previous contents. It allocates nothing.
+func randUnitInto(rng *splitmix64, v []float64) {
 	for i := range v {
 		v[i] = 2*rng.float64() - 1
 		if v[i] == 0 {
@@ -261,7 +258,6 @@ func randUnit(rng *splitmix64, n int) []float64 {
 	if linalg.Normalize(v) == 0 {
 		v[0] = 1
 	}
-	return v
 }
 
 // Residual returns ‖A·v − λ·v‖₂ for diagnostic and test use.

@@ -1,0 +1,159 @@
+package eigen
+
+import (
+	"sync"
+
+	"roadpart/internal/linalg"
+	"roadpart/internal/obs"
+)
+
+// Workspace holds every scratch buffer a Lanczos run needs — the Krylov
+// basis, the iteration vectors, the tridiagonal Ritz problem and the
+// column assembly buffer — so repeated eigensolves (sweep after sweep,
+// request after request) reuse memory instead of reallocating O(m·n)
+// per call.
+//
+// Ownership and reset rules (the memory-discipline contract of
+// docs/PERFORMANCE.md):
+//
+//   - A Workspace may be reused across calls and may contain arbitrary
+//     garbage between them — LanczosWS fully overwrites or zeroes every
+//     buffer it reads, so a dirty workspace never changes results:
+//     pooled and fresh-workspace runs are bit-identical.
+//   - A Workspace must not be shared by concurrent LanczosWS calls.
+//     Callers that want automatic per-worker reuse pass nil and let the
+//     package's sync.Pool hand each concurrent solve its own workspace.
+//   - Decomposition outputs are always freshly allocated; they never
+//     alias workspace memory, so results stay valid after the workspace
+//     is reused or repooled.
+//
+// The zero value is ready to use; buffers grow on demand and are
+// retained for the next run.
+type Workspace struct {
+	n, m int
+
+	kryl  []float64   // m×n row-major Krylov basis backing store
+	q     [][]float64 // row views into kryl, q[j] = kryl[j*n:(j+1)*n]
+	v     []float64   // current Lanczos vector, length n
+	w     []float64   // operator product / residual, length n
+	cand  []float64   // invariant-subspace restart candidate, length n
+	alpha []float64   // tridiagonal diagonal, capacity m
+	beta  []float64   // tridiagonal sub-diagonal, capacity m
+	d     []float64   // Ritz eigenvalues, capacity m
+	e     []float64   // Ritz sub-diagonal scratch, capacity m
+	z     []float64   // Ritz eigenvector matrix, capacity m×m
+	col   []float64   // Ritz column assembly buffer, length n
+}
+
+// reset sizes the workspace for an order-n operator and an m-step
+// iteration, growing buffers as needed. Contents are unspecified after
+// reset; LanczosWS overwrites everything it reads.
+func (ws *Workspace) reset(n, m int) {
+	ws.n, ws.m = n, m
+	if cap(ws.kryl) < m*n {
+		ws.kryl = make([]float64, m*n)
+	}
+	ws.kryl = ws.kryl[:m*n]
+	if cap(ws.q) < m {
+		ws.q = make([][]float64, m)
+	}
+	ws.q = ws.q[:m]
+	for j := 0; j < m; j++ {
+		ws.q[j] = ws.kryl[j*n : (j+1)*n]
+	}
+	ws.v = grow(ws.v, n)
+	ws.w = grow(ws.w, n)
+	ws.cand = grow(ws.cand, n)
+	ws.col = grow(ws.col, n)
+	ws.alpha = grow(ws.alpha, m)
+	ws.beta = grow(ws.beta, m)
+	ws.d = grow(ws.d, m)
+	ws.e = grow(ws.e, m)
+	ws.z = grow(ws.z, m*m)
+}
+
+// grow returns s resized to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// footprint returns the workspace's buffer capacity in bytes, for the
+// pool's bytes-reused accounting.
+func (ws *Workspace) footprint() int {
+	floats := cap(ws.kryl) + cap(ws.v) + cap(ws.w) + cap(ws.cand) + cap(ws.col) +
+		cap(ws.alpha) + cap(ws.beta) + cap(ws.d) + cap(ws.e) + cap(ws.z)
+	return 8 * floats
+}
+
+// step performs Krylov step j of the iteration with full
+// reorthogonalization: it stores the current Lanczos vector as basis row
+// j, applies the operator, orthogonalizes the product against the whole
+// basis (two passes), and returns the step's diagonal entry α_j and the
+// residual norm β_j. betaPrev is β_{j−1} (ignored at j = 0).
+//
+// The kernel allocates nothing — it is the Lanczos-iteration
+// allocation-free pin of docs/PERFORMANCE.md — and its arithmetic order
+// is exactly the historical inline loop's, so workspace reuse is
+// bit-identical to per-call allocation.
+func (ws *Workspace) step(a Op, j int, betaPrev float64) (al, b float64) {
+	copy(ws.q[j], ws.v)
+	a.Apply(ws.w, ws.v)
+	al = linalg.Dot(ws.w, ws.v)
+	// w -= alpha*q[j] + beta*q[j-1], then fully reorthogonalize twice.
+	linalg.Axpy(-al, ws.q[j], ws.w)
+	if j > 0 {
+		linalg.Axpy(-betaPrev, ws.q[j-1], ws.w)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i <= j; i++ {
+			qi := ws.q[i]
+			linalg.Axpy(-linalg.Dot(ws.w, qi), qi, ws.w)
+		}
+	}
+	return al, linalg.Norm2(ws.w)
+}
+
+// restart replaces ws.w with a fresh random direction orthogonal to
+// basis rows 0..j, for the invariant-subspace restart. It reports
+// whether a usable direction was found within five attempts.
+func (ws *Workspace) restart(rng *splitmix64, j int) bool {
+	for attempt := 0; attempt < 5; attempt++ {
+		randUnitInto(rng, ws.cand)
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i <= j; i++ {
+				qi := ws.q[i]
+				linalg.Axpy(-linalg.Dot(ws.cand, qi), qi, ws.cand)
+			}
+		}
+		if linalg.Normalize(ws.cand) > 1e-8 {
+			copy(ws.w, ws.cand)
+			return true
+		}
+	}
+	return false
+}
+
+// Workspace pool: Lanczos (and LanczosWS with a nil workspace) draws
+// from here, so the steady-state population is bounded by the number of
+// concurrent eigensolves — at most one per worker.
+var (
+	wsPool  sync.Pool
+	wsTally = obs.NewPoolTally("eigen_workspace")
+)
+
+func getWorkspace() *Workspace {
+	if ws, ok := wsPool.Get().(*Workspace); ok {
+		wsTally.Hit(ws.footprint())
+		return ws
+	}
+	wsTally.Miss()
+	return &Workspace{}
+}
+
+func putWorkspace(ws *Workspace) {
+	wsPool.Put(ws)
+}

@@ -1,0 +1,180 @@
+package eigen
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"roadpart/internal/linalg"
+)
+
+// pathOp builds the CSR adjacency of a weighted path graph for tests; its
+// size stays below the matvec parallel cutoff so Apply is serial.
+func pathOp(t *testing.T, n int) *linalg.CSR {
+	t.Helper()
+	b := linalg.NewBuilder(n, n)
+	for i := 0; i+1 < n; i++ {
+		b.AddSym(i, i+1, 1+float64(i%3))
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func decompEqual(t *testing.T, a, b *Decomposition) {
+	t.Helper()
+	if a.N != b.N || len(a.Values) != len(b.Values) {
+		t.Fatalf("shape mismatch: N %d vs %d, k %d vs %d", a.N, b.N, len(a.Values), len(b.Values))
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatalf("value %d: %v != %v", i, a.Values[i], b.Values[i])
+		}
+	}
+	for i := range a.Vectors {
+		if a.Vectors[i] != b.Vectors[i] {
+			t.Fatalf("vector entry %d: %v != %v", i, a.Vectors[i], b.Vectors[i])
+		}
+	}
+}
+
+// TestLanczosWSDirtyWorkspaceBitIdentical is the dirty-workspace reset
+// test: a workspace left full of garbage by a previous (differently
+// sized) run must produce the same bits as a fresh solve.
+func TestLanczosWSDirtyWorkspaceBitIdentical(t *testing.T) {
+	opts := LanczosOptions{Seed: 42}
+	big := CSROp{M: pathOp(t, 300)}
+	small := CSROp{M: pathOp(t, 120)}
+
+	fresh, err := Lanczos(context.Background(), small, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ws := &Workspace{}
+	if _, err := LanczosWS(context.Background(), big, 6, opts, ws); err != nil {
+		t.Fatal(err)
+	}
+	// Poison everything the previous run left behind.
+	for i := range ws.kryl {
+		ws.kryl[i] = math.NaN()
+	}
+	for _, s := range [][]float64{ws.v, ws.w, ws.cand, ws.col, ws.alpha, ws.beta, ws.d, ws.e, ws.z} {
+		for i := range s {
+			s[i] = math.Inf(1)
+		}
+	}
+	reused, err := LanczosWS(context.Background(), small, 4, opts, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decompEqual(t, fresh, reused)
+}
+
+// TestLanczosNilWorkspacePoolIdentical checks that the pool-backed path
+// (Lanczos, nil workspace) matches an explicit workspace bit for bit.
+func TestLanczosNilWorkspacePoolIdentical(t *testing.T) {
+	op := CSROp{M: pathOp(t, 200)}
+	opts := LanczosOptions{Seed: 7}
+	pooled, err := Lanczos(context.Background(), op, 5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := LanczosWS(context.Background(), op, 5, opts, &Workspace{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decompEqual(t, pooled, explicit)
+}
+
+// TestLanczosStepAllocFree pins the Lanczos iteration kernel at zero
+// allocations — one of the three allocation-free hot-path pins of
+// docs/PERFORMANCE.md. ws.step only writes q[j] and w, so repeating step 0
+// with the same start vector is a faithful steady-state probe.
+func TestLanczosStepAllocFree(t *testing.T) {
+	op := CSROp{M: pathOp(t, 256)}
+	ws := &Workspace{}
+	ws.reset(op.Dim(), 12)
+	rng := splitmix64{state: 99}
+	randUnitInto(&rng, ws.v)
+	allocs := testing.AllocsPerRun(50, func() { ws.step(op, 0, 0) })
+	if allocs != 0 {
+		t.Fatalf("Workspace.step allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestLanczosConcurrentPooledIdentical runs many pool-backed solves in
+// parallel; under -race this proves pooled workspaces are never shared,
+// and the output check proves reuse cannot perturb results.
+func TestLanczosConcurrentPooledIdentical(t *testing.T) {
+	op := CSROp{M: pathOp(t, 180)}
+	opts := LanczosOptions{Seed: 3}
+	want, err := Lanczos(context.Background(), op, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	got := make([]*Decomposition, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g], errs[g] = Lanczos(context.Background(), op, 4, opts)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 16; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		decompEqual(t, want, got[g])
+	}
+}
+
+// TestSymEigenKMatchesTruncatedFull pins the pooled dense path against
+// the reference full decomposition: the first k columns must agree bit
+// for bit, and k >= n must fall back to the full solve.
+func TestSymEigenKMatchesTruncatedFull(t *testing.T) {
+	n := 40
+	a := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := float64((i*7+j*3)%11) - 5
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	full, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 3, n - 1, n, n + 5} {
+		got, err := symEigenK(a, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kk := k
+		if kk > n {
+			kk = n
+		}
+		if len(got.Values) != kk {
+			t.Fatalf("k=%d: got %d values", k, len(got.Values))
+		}
+		for i := 0; i < kk; i++ {
+			if got.Values[i] != full.Values[i] {
+				t.Fatalf("k=%d value %d: %v != %v", k, i, got.Values[i], full.Values[i])
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < kk; j++ {
+				if got.Vectors[i*kk+j] != full.Vectors[i*n+j] {
+					t.Fatalf("k=%d vector (%d,%d): %v != %v", k, i, j, got.Vectors[i*kk+j], full.Vectors[i*n+j])
+				}
+			}
+		}
+	}
+}

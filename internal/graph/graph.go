@@ -39,6 +39,33 @@ func (g *Graph) N() int { return len(g.adj) }
 // M returns the number of undirected edges added.
 func (g *Graph) M() int { return g.edges }
 
+// Reserve preallocates adjacency capacity from exact per-node endpoint
+// counts: deg[u] is the number of edge endpoints node u will receive
+// (each AddEdge contributes one endpoint at each of its two nodes). All
+// lists are carved from one flat backing array, so a counted build does
+// one allocation instead of one growth chain per node. Adding more
+// endpoints than reserved is permitted — that node's list falls back to
+// append growth. It panics if edges were already added or the count
+// vector has the wrong length.
+func (g *Graph) Reserve(deg []int) {
+	if g.edges != 0 {
+		panic("graph: Reserve after AddEdge")
+	}
+	if len(deg) != len(g.adj) {
+		panic(fmt.Sprintf("graph: Reserve with %d counts for %d nodes", len(deg), len(g.adj)))
+	}
+	total := 0
+	for _, d := range deg {
+		total += d
+	}
+	back := make([]Edge, total)
+	off := 0
+	for u, d := range deg {
+		g.adj[u] = back[off : off : off+d]
+		off += d
+	}
+}
+
 // AddEdge connects u and v with weight w. It returns an error for
 // out-of-range endpoints or self-loops.
 func (g *Graph) AddEdge(u, v int, w float64) error {
@@ -126,13 +153,28 @@ func (g *Graph) Components() ([]int, int) {
 // behind supernode creation, where nodes are connected only if they are
 // adjacent in the road graph and fall in the same density cluster.
 func (g *Graph) ComponentsFiltered(keep func(u, v int) bool) ([]int, int) {
+	comp := make([]int, g.N())
+	count := g.ComponentsFilteredInto(keep, comp)
+	return comp, count
+}
+
+// ComponentsFilteredInto is ComponentsFiltered writing the labels into the
+// caller's comp slice (length N(); prior contents are ignored) and
+// returning the component count. The BFS queue comes from the shared
+// scratch pool, so sweeps that label components repeatedly allocate
+// nothing. It panics if len(comp) != N().
+func (g *Graph) ComponentsFilteredInto(keep func(u, v int) bool, comp []int) int {
 	n := g.N()
-	comp := make([]int, n)
+	if len(comp) != n {
+		panic(fmt.Sprintf("graph: component label length %d != %d nodes", len(comp), n))
+	}
 	for i := range comp {
 		comp[i] = -1
 	}
 	count := 0
-	queue := make([]int, 0, n)
+	qbuf := linalg.GetInts(n)
+	defer linalg.PutInts(qbuf)
+	queue := qbuf[:0]
 	for s := 0; s < n; s++ {
 		if comp[s] >= 0 {
 			continue
@@ -155,7 +197,7 @@ func (g *Graph) ComponentsFiltered(keep func(u, v int) bool) ([]int, int) {
 		}
 		count++
 	}
-	return comp, count
+	return count
 }
 
 // IsConnectedSubset reports whether the subgraph induced by the given node
@@ -236,8 +278,17 @@ func (g *Graph) Reweighted(fn func(u, v int, w float64) float64) *Graph {
 // lines 11–17) and for extracting disjoint partitions from spectral
 // clusters (Alg. 3 line 11).
 func (g *Graph) GroupComponents(group []int) ([]int, int) {
+	comp := make([]int, g.N())
+	count := g.GroupComponentsInto(group, comp)
+	return comp, count
+}
+
+// GroupComponentsInto is GroupComponents writing the refined labels into
+// the caller's comp slice, which may alias nothing in group. Like
+// ComponentsFilteredInto it allocates nothing beyond pooled scratch.
+func (g *Graph) GroupComponentsInto(group, comp []int) int {
 	if len(group) != g.N() {
 		panic(fmt.Sprintf("graph: GroupComponents labeling length %d != %d nodes", len(group), g.N()))
 	}
-	return g.ComponentsFiltered(func(u, v int) bool { return group[u] == group[v] })
+	return g.ComponentsFilteredInto(func(u, v int) bool { return group[u] == group[v] }, comp)
 }

@@ -204,3 +204,42 @@ func TestComponentsPartitionProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestReserveExactAndOverflow(t *testing.T) {
+	// A counted build: 3 edges on 4 nodes, endpoint counts known exactly.
+	g := New(4)
+	g.Reserve([]int{2, 2, 1, 1})
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}} {
+		if err := g.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.M() != 3 || g.Degree(0) != 2 || g.Degree(3) != 1 {
+		t.Fatalf("reserved graph wrong: M=%d deg0=%d deg3=%d", g.M(), g.Degree(0), g.Degree(3))
+	}
+	// Adding beyond the reserved capacity must fall back to append growth
+	// without corrupting other nodes' lists (they share one backing).
+	if err := g.AddEdge(0, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 3 || g.Degree(1) != 2 || g.Degree(3) != 2 {
+		t.Fatalf("overflow corrupted adjacency: deg=%d,%d,%d,%d",
+			g.Degree(0), g.Degree(1), g.Degree(2), g.Degree(3))
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(0, 3) {
+		t.Fatal("edges lost after overflow growth")
+	}
+
+	// Guard rails.
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Reserve after AddEdge", func() { g.Reserve([]int{0, 0, 0, 0}) })
+	mustPanic("Reserve wrong length", func() { New(2).Reserve([]int{1}) })
+}

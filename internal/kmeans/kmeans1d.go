@@ -48,8 +48,10 @@ func (r *Result) Mean1(c int) float64 { return r.Means[c][0] }
 // DefaultMaxIterations. The input slice is not modified.
 //
 // OneD is fully deterministic: identical inputs yield identical results.
+// Every call allocates a fresh Result; loops that cluster many times
+// (κ-sweeps) should reuse a Scratch instead.
 func OneD(data []float64, k, maxIter int) (*Result, error) {
-	return oneD(data, k, maxIter, nil)
+	return oneD(data, k, maxIter, nil, nil)
 }
 
 // OneDRandomInit is OneD with classic random (Forgy) initialization —
@@ -58,10 +60,53 @@ func OneD(data []float64, k, maxIter int) (*Result, error) {
 // initialization (Section 4.1), which OneD uses.
 func OneDRandomInit(data []float64, k, maxIter int, seed uint64) (*Result, error) {
 	rng := prng{state: seed ^ 0xabcdef12345}
-	return oneD(data, k, maxIter, &rng)
+	return oneD(data, k, maxIter, &rng, nil)
 }
 
-func oneD(data []float64, k, maxIter int, rng *prng) (*Result, error) {
+// Scratch holds the working buffers for repeated 1-D clusterings so a
+// κ-sweep reuses memory instead of reallocating per candidate κ. The zero
+// value is ready to use; buffers grow on demand and may be dirty between
+// calls (every buffer read is first overwritten, so results are
+// bit-identical to scratch-free OneD).
+//
+// A Scratch must not be shared by concurrent calls, and the Result
+// returned by its OneD — including Assign, Means and Sizes — is owned by
+// the scratch and valid only until the next call on it. Callers keeping a
+// clustering must copy those slices out first.
+type Scratch struct {
+	sorted []float64
+	means  []float64
+	sums   []float64
+	assign []int
+	sizes  []int
+	out    [][]float64
+	res    Result
+}
+
+// OneD is the package-level OneD computing in s's buffers. See the
+// Scratch ownership contract for the returned Result's lifetime.
+func (s *Scratch) OneD(data []float64, k, maxIter int) (*Result, error) {
+	return oneD(data, k, maxIter, nil, s)
+}
+
+// growFloats returns s resized to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growInts is growFloats for int slices.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func oneD(data []float64, k, maxIter int, rng *prng, s *Scratch) (*Result, error) {
 	n := len(data)
 	if k < 1 {
 		return nil, fmt.Errorf("kmeans: OneD needs k >= 1, got %d", k)
@@ -73,7 +118,20 @@ func oneD(data []float64, k, maxIter int, rng *prng) (*Result, error) {
 		maxIter = DefaultMaxIterations
 	}
 
-	means := make([]float64, k)
+	var means, sums []float64
+	var assign, sizes []int
+	if s != nil {
+		s.means = growFloats(s.means, k)
+		s.sums = growFloats(s.sums, k)
+		s.assign = growInts(s.assign, n)
+		s.sizes = growInts(s.sizes, k)
+		means, sums, assign, sizes = s.means, s.sums, s.assign, s.sizes
+	} else {
+		means = make([]float64, k)
+		sums = make([]float64, k)
+		assign = make([]int, n)
+		sizes = make([]int, k)
+	}
 	if rng != nil {
 		// Forgy: k distinct positions drawn at random.
 		perm := rng.perm(n)
@@ -85,7 +143,13 @@ func oneD(data []float64, k, maxIter int, rng *prng) (*Result, error) {
 		// feature values, the j-th cluster mean starts at position
 		// ⌊n/k·j⌋ (clamped), giving means spread across the empirical
 		// distribution.
-		sorted := make([]float64, n)
+		var sorted []float64
+		if s != nil {
+			s.sorted = growFloats(s.sorted, n)
+			sorted = s.sorted
+		} else {
+			sorted = make([]float64, n)
+		}
 		copy(sorted, data)
 		sort.Float64s(sorted)
 		for j := 0; j < k; j++ {
@@ -102,9 +166,9 @@ func oneD(data []float64, k, maxIter int, rng *prng) (*Result, error) {
 	}
 	sort.Float64s(means)
 
-	assign := make([]int, n)
-	sizes := make([]int, k)
-	sums := make([]float64, k)
+	// A dirty reused assign slice is safe: the first sweep stores every
+	// item's true nearest cluster regardless of prior contents, and the
+	// convergence check ignores the first sweep's changed flag.
 	var wcss float64
 	iter := 0
 	for ; iter < maxIter; iter++ {
@@ -140,6 +204,24 @@ func oneD(data []float64, k, maxIter int, rng *prng) (*Result, error) {
 		}
 	}
 
+	if s != nil {
+		if cap(s.out) < k {
+			s.out = make([][]float64, k)
+		}
+		s.out = s.out[:k]
+		for c := range means {
+			s.out[c] = means[c : c+1]
+		}
+		s.res = Result{
+			Assign:     assign,
+			Means:      s.out,
+			Sizes:      sizes,
+			WCSS:       wcss,
+			Iterations: iter,
+			K:          k,
+		}
+		return &s.res, nil
+	}
 	res := &Result{
 		Assign:     assign,
 		Means:      make([][]float64, k),

@@ -97,46 +97,83 @@ func NDCtx(ctx context.Context, points [][]float64, k int, opts NDOptions) (*Res
 		draws = uint64(n - 1)
 	}
 	base := opts.Seed ^ 0x5851f42d4c957f2d
-	results := make([]*Result, restarts)
-	if err := parallel.ForCtx(ctx, restarts, opts.Workers, func(r int) {
+	runs := make([]ndRun, restarts)
+	err := parallel.ForCtx(ctx, restarts, opts.Workers, func(r int) {
 		rng := prng{state: base + uint64(r)*draws*prngIncrement}
-		means := seed(points, k, opts.Seeding, &rng)
-		results[r] = lloyd(points, means, k, maxIter)
-	}); err != nil {
+		s := getNDScratch()
+		s.reset(n, k, dim)
+		seedInto(points, k, opts.Seeding, &rng, s)
+		wcss, iters := lloydInto(points, s.means, maxIter, s.assign, s.sizes, s.sums)
+		runs[r] = ndRun{s: s, wcss: wcss, iters: iters}
+	})
+	if err != nil {
+		for _, run := range runs {
+			if run.s != nil {
+				putNDScratch(run.s)
+			}
+		}
 		return nil, fmt.Errorf("kmeans: ND interrupted: %w", err)
 	}
-	best := results[0]
+	// Index-ordered fold: restart 0 wins ties (and NaN WCSS never
+	// displaces it), exactly as the historical sequential reduction did.
+	bestIdx := 0
 	var iters uint64
-	for _, res := range results {
-		iters += uint64(res.Iterations)
-		if res.WCSS < best.WCSS {
-			best = res
+	for r := range runs {
+		iters += uint64(runs[r].iters)
+		if runs[r].wcss < runs[bestIdx].wcss {
+			bestIdx = r
 		}
+	}
+	// Materialize the winner into fresh slices — the Result outlives the
+	// pooled scratches — then return every scratch for reuse.
+	win := runs[bestIdx]
+	out := &Result{
+		Assign:     append([]int(nil), win.s.assign...),
+		Means:      make([][]float64, k),
+		Sizes:      append([]int(nil), win.s.sizes...),
+		WCSS:       win.wcss,
+		Iterations: win.iters,
+		K:          k,
+	}
+	for c := 0; c < k; c++ {
+		out.Means[c] = append([]float64(nil), win.s.means[c]...)
+	}
+	for _, run := range runs {
+		putNDScratch(run.s)
 	}
 	ndRestarts.Add(uint64(restarts))
 	ndIterations.Add(iters)
-	return best, nil
+	return out, nil
 }
 
-// seed produces the initial centroids.
-func seed(points [][]float64, k int, s Seeding, rng *prng) [][]float64 {
+// ndRun records one restart's outcome; its scratch holds the assignment,
+// sizes and centroids until the winner is materialized.
+type ndRun struct {
+	s     *ndScratch
+	wcss  float64
+	iters int
+}
+
+// seedInto writes the initial centroids into sc.means, drawing exactly
+// the same RNG stream as the historical allocating seeder (one draw per
+// centroid pick) so pooling cannot change which points are chosen.
+func seedInto(points [][]float64, k int, s Seeding, rng *prng, sc *ndScratch) {
 	n := len(points)
-	dim := len(points[0])
-	means := make([][]float64, 0, k)
+	means := sc.means
 	switch s {
 	case SeedForgy:
-		perm := rng.perm(n)
+		rng.permInto(sc.perm)
 		for i := 0; i < k; i++ {
-			means = append(means, dup(points[perm[i]]))
+			copy(means[i], points[sc.perm[i]])
 		}
 	default: // SeedPlusPlus
-		means = append(means, dup(points[rng.intn(n)]))
-		d2 := make([]float64, n)
-		for len(means) < k {
+		copy(means[0], points[rng.intn(n)])
+		d2 := sc.d2
+		for used := 1; used < k; used++ {
 			var total float64
 			for i, p := range points {
 				d := math.Inf(1)
-				for _, m := range means {
+				for _, m := range means[:used] {
 					if v := sqDist(p, m); v < d {
 						d = v
 					}
@@ -159,55 +196,54 @@ func seed(points [][]float64, k int, s Seeding, rng *prng) [][]float64 {
 					}
 				}
 			}
-			means = append(means, dup(points[next]))
+			copy(means[used], points[next])
 		}
 	}
-	_ = dim
-	return means
 }
 
-// lloyd runs the assignment/update loop to convergence.
-func lloyd(points [][]float64, means [][]float64, k, maxIter int) *Result {
-	n := len(points)
-	dim := len(points[0])
-	assign := make([]int, n)
-	sizes := make([]int, k)
-	sums := make([][]float64, k)
+// assignStep performs one Lloyd assignment sweep: it rebuilds sizes and
+// per-cluster coordinate sums, updates assign, and returns the sweep's
+// WCSS and whether any assignment moved. It allocates nothing — this is
+// the k-means assignment allocation-free pin of docs/PERFORMANCE.md.
+func assignStep(points, means [][]float64, assign, sizes []int, sums [][]float64) (wcss float64, changed bool) {
 	for c := range sums {
-		sums[c] = make([]float64, dim)
+		sizes[c] = 0
+		for d := range sums[c] {
+			sums[c][d] = 0
+		}
 	}
-	var wcss float64
-	iter := 0
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c, m := range means {
+			if d := sqDist(p, m); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			changed = true
+		}
+		sizes[best]++
+		for d, v := range p {
+			sums[best][d] += v
+		}
+		wcss += bestD
+	}
+	return wcss, changed
+}
+
+// lloydInto runs the assignment/update loop to convergence in the
+// caller's buffers. assign may be dirty: the first sweep stores every
+// point's true nearest centroid regardless of prior contents, and the
+// convergence check ignores the first sweep's changed flag.
+func lloydInto(points, means [][]float64, maxIter int, assign, sizes []int, sums [][]float64) (wcss float64, iter int) {
 	for ; iter < maxIter; iter++ {
-		changed := false
-		for c := 0; c < k; c++ {
-			sizes[c] = 0
-			for d := range sums[c] {
-				sums[c][d] = 0
-			}
-		}
-		wcss = 0
-		for i, p := range points {
-			best, bestD := 0, math.Inf(1)
-			for c, m := range means {
-				if d := sqDist(p, m); d < bestD {
-					best, bestD = c, d
-				}
-			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
-			sizes[best]++
-			for d, v := range p {
-				sums[best][d] += v
-			}
-			wcss += bestD
-		}
+		var changed bool
+		wcss, changed = assignStep(points, means, assign, sizes, sums)
 		if iter > 0 && !changed {
 			break
 		}
-		for c := 0; c < k; c++ {
+		for c := range means {
 			if sizes[c] == 0 {
 				continue // empty cluster keeps its previous centroid
 			}
@@ -216,14 +252,7 @@ func lloyd(points [][]float64, means [][]float64, k, maxIter int) *Result {
 			}
 		}
 	}
-	return &Result{
-		Assign:     assign,
-		Means:      means,
-		Sizes:      sizes,
-		WCSS:       wcss,
-		Iterations: iter,
-		K:          k,
-	}
+	return wcss, iter
 }
 
 func sqDist(a, b []float64) float64 {
@@ -233,12 +262,6 @@ func sqDist(a, b []float64) float64 {
 		s += d * d
 	}
 	return s
-}
-
-func dup(p []float64) []float64 {
-	c := make([]float64, len(p))
-	copy(c, p)
-	return c
 }
 
 // prng is a small deterministic generator (splitmix64 core).
@@ -262,12 +285,18 @@ func (p *prng) intn(n int) int { return int(p.next() % uint64(n)) }
 
 func (p *prng) perm(n int) []int {
 	out := make([]int, n)
+	p.permInto(out)
+	return out
+}
+
+// permInto fills out with a Fisher–Yates shuffle of 0..len(out)-1,
+// consuming exactly the draws perm would. It allocates nothing.
+func (p *prng) permInto(out []int) {
 	for i := range out {
 		out[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(out) - 1; i > 0; i-- {
 		j := p.intn(i + 1)
 		out[i], out[j] = out[j], out[i]
 	}
-	return out
 }

@@ -84,22 +84,30 @@ func (m *Dense) Clone() *Dense {
 //
 // Large matrices compute row-parallel (see SetWorkers); each row's
 // accumulation order is unchanged, so the result is bit-identical to the
-// serial loop for any worker count.
+// serial loop for any worker count. The serial path allocates nothing.
 func (m *Dense) MulVec(dst, x []float64) {
 	if len(x) != m.cols || len(dst) != m.rows {
 		panic(fmt.Sprintf("linalg: MulVec dims %dx%d with x[%d] dst[%d]", m.rows, m.cols, len(x), len(dst)))
 	}
 	matvecDense.Inc()
-	parallel.Blocks(m.rows, mulVecSpan(m.rows, denseMulVecCutoff), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := m.data[i*m.cols : (i+1)*m.cols]
-			var s float64
-			for j, v := range row {
-				s += v * x[j]
-			}
-			dst[i] = s
+	if span := mulVecSpan(m.rows, denseMulVecCutoff); span > 1 {
+		parallel.Blocks(m.rows, span, func(lo, hi int) { m.mulVecRange(dst, x, lo, hi) })
+		return
+	}
+	m.mulVecRange(dst, x, 0, m.rows)
+}
+
+// mulVecRange computes dst[lo:hi] of the product — the shared kernel of
+// the serial and row-parallel paths.
+func (m *Dense) mulVecRange(dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
 		}
-	})
+		dst[i] = s
+	}
 }
 
 // IsSymmetric reports whether m is square and symmetric to within tol.

@@ -1,0 +1,87 @@
+package linalg
+
+import (
+	"sync"
+
+	"roadpart/internal/obs"
+)
+
+// Scratch-buffer pools for the allocation-free hot paths (see
+// docs/PERFORMANCE.md). GetVec/GetInts hand out recycled slices so the
+// steady-state pipeline — repeated Partition calls, sweep iterations,
+// server requests — reuses memory instead of reallocating embeddings,
+// component labelings and BFS queues on every call.
+//
+// Ownership contract: a Get* caller owns the buffer until it calls the
+// matching Put*; a buffer must not be used after Put (the pool may hand
+// it to a concurrent caller immediately). The pools are sync.Pool-backed
+// and safe for concurrent use; their live population is naturally
+// bounded by the number of concurrent workers (internal/parallel caps
+// fan-out, and each worker holds at most one buffer per call site at a
+// time). Pooling never changes results: buffers are either zeroed on Get
+// (GetVec/GetInts) or fully overwritten by their consumer, so pooled and
+// unpooled runs are bit-identical.
+//
+// Hit/miss/bytes-reused are surfaced on /v1/metrics via internal/obs as
+// roadpart_pool_events_total{pool="linalg_vec"|"linalg_ints"} and
+// roadpart_pool_bytes_reused_total.
+var (
+	vecTally = obs.NewPoolTally("linalg_vec")
+	intTally = obs.NewPoolTally("linalg_ints")
+
+	vecPool sync.Pool // of *[]float64
+	intPool sync.Pool // of *[]int
+)
+
+// GetVec returns a zeroed float64 slice of length n, reusing pooled
+// capacity when a large-enough buffer is available. Return it with
+// PutVec when done.
+func GetVec(n int) []float64 {
+	if p, ok := vecPool.Get().(*[]float64); ok && cap(*p) >= n {
+		v := (*p)[:n]
+		for i := range v {
+			v[i] = 0
+		}
+		vecTally.Hit(8 * n)
+		return v
+	}
+	// Pool empty, or the pooled buffer was too small (it is dropped and
+	// left to the GC — the pool re-fills at the larger size).
+	vecTally.Miss()
+	return make([]float64, n)
+}
+
+// PutVec returns a slice obtained from GetVec (or any slice the caller
+// no longer needs) to the pool. The caller must not touch v afterwards.
+func PutVec(v []float64) {
+	if cap(v) == 0 {
+		return
+	}
+	v = v[:0]
+	vecPool.Put(&v)
+}
+
+// GetInts returns a zeroed int slice of length n from the pool. Return
+// it with PutInts when done.
+func GetInts(n int) []int {
+	if p, ok := intPool.Get().(*[]int); ok && cap(*p) >= n {
+		v := (*p)[:n]
+		for i := range v {
+			v[i] = 0
+		}
+		intTally.Hit(8 * n)
+		return v
+	}
+	intTally.Miss()
+	return make([]int, n)
+}
+
+// PutInts returns a slice obtained from GetInts to the pool. The caller
+// must not touch v afterwards.
+func PutInts(v []int) {
+	if cap(v) == 0 {
+		return
+	}
+	v = v[:0]
+	intPool.Put(&v)
+}

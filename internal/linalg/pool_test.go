@@ -1,0 +1,127 @@
+package linalg
+
+import (
+	"testing"
+)
+
+func TestGetVecZeroedAndReused(t *testing.T) {
+	v := GetVec(64)
+	if len(v) != 64 {
+		t.Fatalf("GetVec(64) len = %d", len(v))
+	}
+	for i := range v {
+		v[i] = float64(i) + 1
+	}
+	PutVec(v)
+	// The next Get of an equal-or-smaller size must come back zeroed no
+	// matter what the previous user left behind.
+	w := GetVec(32)
+	for i, x := range w {
+		if x != 0 {
+			t.Fatalf("GetVec reuse not zeroed at %d: %v", i, x)
+		}
+	}
+	PutVec(w)
+}
+
+func TestGetIntsZeroedAndReused(t *testing.T) {
+	v := GetInts(64)
+	if len(v) != 64 {
+		t.Fatalf("GetInts(64) len = %d", len(v))
+	}
+	for i := range v {
+		v[i] = i + 1
+	}
+	PutInts(v)
+	w := GetInts(64)
+	for i, x := range w {
+		if x != 0 {
+			t.Fatalf("GetInts reuse not zeroed at %d: %v", i, x)
+		}
+	}
+	PutInts(w)
+}
+
+func TestPutVecEmptyIsSafe(t *testing.T) {
+	PutVec(nil)
+	PutVec([]float64{})
+	PutInts(nil)
+	PutInts([]int{})
+}
+
+// TestCSRMulVecSerialAllocFree pins the CSR matvec — the inner kernel of
+// every Lanczos step — at zero steady-state allocations on the serial
+// path (rows below the parallel cutoff). This is one of the three
+// allocation-free hot-path pins of docs/PERFORMANCE.md.
+func TestCSRMulVecSerialAllocFree(t *testing.T) {
+	n := 512 // below csrMulVecCutoff: serial path
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.AddSym(i, (i+1)%n, 1.5)
+		b.AddSym(i, (i+7)%n, 0.5)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+	allocs := testing.AllocsPerRun(100, func() { m.MulVec(dst, x) })
+	if allocs != 0 {
+		t.Fatalf("serial CSR.MulVec allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestDenseMulVecSerialAllocFree pins the dense matvec serial path the
+// same way.
+func TestDenseMulVecSerialAllocFree(t *testing.T) {
+	n := 128 // below denseMulVecCutoff: serial path
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, float64((i*j)%7))
+		}
+	}
+	x := make([]float64, n)
+	dst := make([]float64, n)
+	allocs := testing.AllocsPerRun(100, func() { m.MulVec(dst, x) })
+	if allocs != 0 {
+		t.Fatalf("serial Dense.MulVec allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestMulVecParallelMatchesSerial guards the fast-path split: the
+// parallel branch must stay bit-identical to the serial kernel.
+func TestMulVecParallelMatchesSerial(t *testing.T) {
+	n := 4096 // above csrMulVecCutoff
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.AddSym(i, (i+1)%n, float64(i%5)+0.25)
+		b.AddSym(i, (i+13)%n, 1)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%31) - 15.5
+	}
+	serial := make([]float64, n)
+	parallelDst := make([]float64, n)
+
+	old := Workers()
+	defer SetWorkers(old)
+	SetWorkers(1)
+	m.MulVec(serial, x)
+	SetWorkers(4)
+	m.MulVec(parallelDst, x)
+	for i := range serial {
+		if serial[i] != parallelDst[i] {
+			t.Fatalf("row %d: serial %v != parallel %v", i, serial[i], parallelDst[i])
+		}
+	}
+}

@@ -100,21 +100,31 @@ func (m *CSR) Range(i int, fn func(j int, v float64)) {
 //
 // Large matrices compute row-parallel (see SetWorkers); each row's
 // accumulation order is unchanged, so the result is bit-identical to the
-// serial loop for any worker count.
+// serial loop for any worker count. The serial path (small matrices, or
+// Workers=1) allocates nothing — it is one of the pinned
+// allocation-free kernels of docs/PERFORMANCE.md.
 func (m *CSR) MulVec(dst, x []float64) {
 	if len(x) != m.cols || len(dst) != m.rows {
 		panic(fmt.Sprintf("linalg: MulVec dims %dx%d with x[%d] dst[%d]", m.rows, m.cols, len(x), len(dst)))
 	}
 	matvecCSR.Inc()
-	parallel.Blocks(m.rows, mulVecSpan(m.rows, csrMulVecCutoff), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			var s float64
-			for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
-				s += m.vals[k] * x[m.colIdx[k]]
-			}
-			dst[i] = s
+	if span := mulVecSpan(m.rows, csrMulVecCutoff); span > 1 {
+		parallel.Blocks(m.rows, span, func(lo, hi int) { m.mulVecRange(dst, x, lo, hi) })
+		return
+	}
+	m.mulVecRange(dst, x, 0, m.rows)
+}
+
+// mulVecRange computes dst[lo:hi] of the product — the shared kernel of
+// the serial and row-parallel paths.
+func (m *CSR) mulVecRange(dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.vals[k] * x[m.colIdx[k]]
 		}
-	})
+		dst[i] = s
+	}
 }
 
 // RowSums returns the vector of row sums (the weighted degree vector when

@@ -1,0 +1,60 @@
+package obs
+
+// Buffer-pool accounting. The allocation-free hot paths (see
+// docs/PERFORMANCE.md) recycle scratch buffers through sync.Pool-backed
+// pools; these two families make the recycling observable so a
+// regression (a pool that stops hitting) shows up on /v1/metrics long
+// before it shows up in GC pressure:
+//
+//	roadpart_pool_events_total{pool="...",result="hit"|"miss"}
+//	roadpart_pool_bytes_reused_total{pool="..."}
+//
+// A hit means a pooled buffer with sufficient capacity was reused (its
+// capacity in bytes accrues to the bytes-reused counter); a miss means
+// the pool was empty or too small and a fresh buffer was allocated.
+// Steady state is all hits: after warm-up the miss counters freeze while
+// bytes-reused keeps growing.
+
+// Family names for the pool metrics, exported so the exposition tests
+// and the HTTP layer can reference them without string drift.
+const (
+	// PoolEventsFamily counts pool lookups by pool name and result.
+	PoolEventsFamily = "roadpart_pool_events_total"
+	// PoolBytesFamily accumulates the bytes served from pooled buffers.
+	PoolBytesFamily = "roadpart_pool_bytes_reused_total"
+)
+
+const (
+	poolEventsHelp = "Scratch-buffer pool lookups by pool and result (hit = reused, miss = freshly allocated)."
+	poolBytesHelp  = "Bytes served from reused pooled buffers instead of fresh allocations."
+)
+
+// PoolTally is the counter triple describing one named buffer pool.
+// Construct one per pool with NewPoolTally at package init; recording a
+// hit or miss is then one or two atomic adds. The zero value is a no-op.
+type PoolTally struct {
+	hits, misses, bytes *Counter
+}
+
+// NewPoolTally registers (or resolves) the hit/miss/bytes-reused series
+// for the named pool on the default registry.
+func NewPoolTally(pool string) PoolTally {
+	return PoolTally{
+		hits:   Default().Counter(PoolEventsFamily, poolEventsHelp, "pool", pool, "result", "hit"),
+		misses: Default().Counter(PoolEventsFamily, poolEventsHelp, "pool", pool, "result", "miss"),
+		bytes:  Default().Counter(PoolBytesFamily, poolBytesHelp, "pool", pool),
+	}
+}
+
+// Hit records a pool hit that reused a buffer of the given size in bytes.
+func (t PoolTally) Hit(bytes int) {
+	t.hits.Inc()
+	if bytes > 0 {
+		t.bytes.Add(uint64(bytes))
+	}
+}
+
+// Miss records a pool miss (a fresh allocation took the buffer's place).
+func (t PoolTally) Miss() {
+	t.misses.Inc()
+}

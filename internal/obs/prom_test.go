@@ -41,6 +41,78 @@ weird_total{k="v\"w\\x\n"} 1
 	}
 }
 
+// TestPrometheusPoolGolden pins the exposition of the buffer-pool
+// families exactly as NewPoolTally registers them (same family names and
+// help strings), so the /v1/metrics surface documented in docs/API.md
+// cannot drift silently.
+func TestPrometheusPoolGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(PoolEventsFamily, poolEventsHelp, "pool", "eigen_workspace", "result", "hit").Add(41)
+	r.Counter(PoolEventsFamily, poolEventsHelp, "pool", "eigen_workspace", "result", "miss").Add(1)
+	r.Counter(PoolEventsFamily, poolEventsHelp, "pool", "kmeans_nd", "result", "hit").Add(7)
+	r.Counter(PoolBytesFamily, poolBytesHelp, "pool", "eigen_workspace").Add(1 << 20)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP roadpart_pool_bytes_reused_total Bytes served from reused pooled buffers instead of fresh allocations.
+# TYPE roadpart_pool_bytes_reused_total counter
+roadpart_pool_bytes_reused_total{pool="eigen_workspace"} 1048576
+# HELP roadpart_pool_events_total Scratch-buffer pool lookups by pool and result (hit = reused, miss = freshly allocated).
+# TYPE roadpart_pool_events_total counter
+roadpart_pool_events_total{pool="eigen_workspace",result="hit"} 41
+roadpart_pool_events_total{pool="eigen_workspace",result="miss"} 1
+roadpart_pool_events_total{pool="kmeans_nd",result="hit"} 7
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("pool exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPoolTallyCounts exercises the PoolTally fast path against the
+// default registry and checks the three series move as documented: a
+// hit bumps events{result="hit"} and, for a nonzero size, bytes-reused;
+// a miss bumps only events{result="miss"}.
+func TestPoolTallyCounts(t *testing.T) {
+	tally := NewPoolTally("obs_test_pool")
+	tally.Miss()
+	tally.Hit(256)
+	tally.Hit(0) // zero-byte hit must not move the bytes counter
+
+	find := func(family, result string) float64 {
+		t.Helper()
+		for _, fam := range Default().Snapshot() {
+			if fam.Name != family {
+				continue
+			}
+			for _, s := range fam.Series {
+				if s.Labels["pool"] != "obs_test_pool" {
+					continue
+				}
+				if result != "" && s.Labels["result"] != result {
+					continue
+				}
+				if s.Value == nil {
+					t.Fatalf("%s series has nil value", family)
+				}
+				return *s.Value
+			}
+		}
+		t.Fatalf("no %s series for obs_test_pool (result=%q)", family, result)
+		return 0
+	}
+	if got := find(PoolEventsFamily, "hit"); got != 2 {
+		t.Fatalf("hit count = %v, want 2", got)
+	}
+	if got := find(PoolEventsFamily, "miss"); got != 1 {
+		t.Fatalf("miss count = %v, want 1", got)
+	}
+	if got := find(PoolBytesFamily, ""); got != 256 {
+		t.Fatalf("bytes reused = %v, want 256", got)
+	}
+}
+
 func TestSnapshotJSON(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("c_total", "count", "x", "1").Add(2)

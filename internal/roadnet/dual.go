@@ -31,11 +31,19 @@ func DualGraph(n *Network) (*graph.Graph, error) {
 	// intersections. seen[v] holds the most recent u for which (u,v) was
 	// added; since pairs are visited with u ascending within and across
 	// cliques this gives exact deduplication per u.
-	seen := make([]int, len(n.Segments))
+	// Two passes over the same traversal: the first counts endpoints per
+	// node so Reserve can lay every adjacency list in one flat backing,
+	// the second adds the edges into the reserved capacity. The marker
+	// scheme keeps the passes independent: pass one stamps seen[v] = u,
+	// pass two stamps seen[v] = u + nSeg, so a leftover pass-one stamp
+	// (always < nSeg) can never satisfy pass two's check.
+	nSeg := len(n.Segments)
+	seen := make([]int, nSeg)
 	for i := range seen {
 		seen[i] = -1
 	}
-	for u := 0; u < len(n.Segments); u++ {
+	deg := make([]int, nSeg)
+	for u := 0; u < nSeg; u++ {
 		s := n.Segments[u]
 		for _, ι := range [2]int{s.From, s.To} {
 			for _, v := range incident[ι] {
@@ -43,6 +51,20 @@ func DualGraph(n *Network) (*graph.Graph, error) {
 					continue
 				}
 				seen[v] = u
+				deg[u]++
+				deg[v]++
+			}
+		}
+	}
+	g.Reserve(deg)
+	for u := 0; u < nSeg; u++ {
+		s := n.Segments[u]
+		for _, ι := range [2]int{s.From, s.To} {
+			for _, v := range incident[ι] {
+				if v <= u || seen[v] == u+nSeg {
+					continue
+				}
+				seen[v] = u + nSeg
 				if err := g.AddEdge(u, v, 1); err != nil {
 					return nil, fmt.Errorf("roadnet: dual edge (%d,%d): %w", u, v, err)
 				}

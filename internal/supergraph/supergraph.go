@@ -20,6 +20,7 @@ import (
 	"roadpart/internal/cluster"
 	"roadpart/internal/graph"
 	"roadpart/internal/kmeans"
+	"roadpart/internal/linalg"
 	"roadpart/internal/obs"
 )
 
@@ -165,27 +166,34 @@ func MineCtx(ctx context.Context, g *graph.Graph, features []float64, opts MineO
 
 	// Stage 2: full-data clustering per shortlisted κ; fewest connected
 	// components wins (Alg. 1 lines 10–16).
+	// Every candidate κ clusters and labels into reused scratch; only the
+	// best configuration so far is copied out, so the loop's steady-state
+	// allocations are bounded by the number of improvements, not by the
+	// shortlist length.
 	spKMeans := stageFullKMeans.Start()
 	bestComp := -1
 	var bestAssign, bestLabels []int
 	var bestMeans []float64
 	chosen := 0
+	var ks kmeans.Scratch
+	labels := linalg.GetInts(n)
+	defer linalg.PutInts(labels)
 	for _, kappa := range shortlist {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("supergraph: full clustering interrupted at κ=%d: %w", kappa, err)
 		}
-		res, err := kmeans.OneD(features, kappa, 0)
+		res, err := ks.OneD(features, kappa, 0)
 		if err != nil {
 			return nil, fmt.Errorf("supergraph: κ=%d: %w", kappa, err)
 		}
-		labels, count := g.GroupComponents(res.Assign)
+		count := g.GroupComponentsInto(res.Assign, labels)
 		if bestComp < 0 || count < bestComp {
 			bestComp = count
-			bestLabels = labels
-			bestAssign = res.Assign
-			bestMeans = make([]float64, kappa)
+			bestLabels = append(bestLabels[:0], labels...)
+			bestAssign = append(bestAssign[:0], res.Assign...)
+			bestMeans = bestMeans[:0]
 			for c := 0; c < kappa; c++ {
-				bestMeans[c] = res.Mean1(c)
+				bestMeans = append(bestMeans, res.Mean1(c))
 			}
 			chosen = kappa
 		}
@@ -272,6 +280,16 @@ func stabilize(ctx context.Context, g *graph.Graph, features []float64, nodes []
 	copy(stack, nodes)
 	var out []Supernode
 	splits := 0
+	// Pop-loop scratch: the feature and half buffers are reused across
+	// pops, and the generation-stamped membership arrays let every
+	// component split run without clearing (or reallocating) O(n) state.
+	var fsBuf []float64
+	var preBuf, postBuf []int
+	inStamp := linalg.GetInts(g.N())
+	seenStamp := linalg.GetInts(g.N())
+	defer linalg.PutInts(inStamp)
+	defer linalg.PutInts(seenStamp)
+	gen := 0
 	for len(stack) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, fmt.Errorf("supergraph: stability split interrupted: %w", err)
@@ -279,7 +297,10 @@ func stabilize(ctx context.Context, g *graph.Graph, features []float64, nodes []
 		sn := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 
-		fs := make([]float64, len(sn.Members))
+		if cap(fsBuf) < len(sn.Members) {
+			fsBuf = make([]float64, len(sn.Members))
+		}
+		fs := fsBuf[:len(sn.Members)]
 		var mu float64
 		for i, v := range sn.Members {
 			fs[i] = features[v]
@@ -293,7 +314,7 @@ func stabilize(ctx context.Context, g *graph.Graph, features []float64, nodes []
 			continue
 		}
 
-		var pre, post []int
+		pre, post := preBuf[:0], postBuf[:0]
 		for i, v := range sn.Members {
 			if fs[i] <= mu {
 				pre = append(pre, v)
@@ -301,6 +322,7 @@ func stabilize(ctx context.Context, g *graph.Graph, features []float64, nodes []
 				post = append(post, v)
 			}
 		}
+		preBuf, postBuf = pre, post
 		if len(pre) == 0 || len(post) == 0 {
 			// All members at the mean yet unstable cannot happen (η would
 			// be 1), but guard against float edge cases.
@@ -310,7 +332,8 @@ func stabilize(ctx context.Context, g *graph.Graph, features []float64, nodes []
 		}
 		splits++
 		for _, part := range [][]int{pre, post} {
-			for _, comp := range splitComponents(g, part) {
+			gen++
+			for _, comp := range splitComponents(g, part, inStamp, seenStamp, gen) {
 				stack = append(stack, Supernode{Members: comp})
 			}
 		}
@@ -319,24 +342,26 @@ func stabilize(ctx context.Context, g *graph.Graph, features []float64, nodes []
 }
 
 // splitComponents returns the connected components of the subgraph of g
-// induced by members.
-func splitComponents(g *graph.Graph, members []int) [][]int {
-	in := make(map[int]bool, len(members))
+// induced by members. The in/seen arrays are generation-stamped
+// membership marks (value == gen means set): passing a fresh gen each
+// call makes prior contents irrelevant without any clearing, so the only
+// allocations are the component slices themselves, which the caller
+// keeps as supernode member lists.
+func splitComponents(g *graph.Graph, members []int, in, seen []int, gen int) [][]int {
 	for _, v := range members {
-		in[v] = true
+		in[v] = gen
 	}
-	seen := make(map[int]bool, len(members))
 	var comps [][]int
 	for _, s := range members {
-		if seen[s] {
+		if seen[s] == gen {
 			continue
 		}
 		comp := []int{s}
-		seen[s] = true
+		seen[s] = gen
 		for q := 0; q < len(comp); q++ {
 			for _, e := range g.Neighbors(comp[q]) {
-				if in[e.To] && !seen[e.To] {
-					seen[e.To] = true
+				if in[e.To] == gen && seen[e.To] != gen {
+					seen[e.To] = gen
 					comp = append(comp, e.To)
 				}
 			}
