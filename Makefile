@@ -2,15 +2,24 @@
 # must pass before review: build, vet, the full test suite, the race
 # detector over the whole module (short mode keeps the race pass fast),
 # a fuzz smoke pass over the untrusted-input parsers, a benchmark-harness
-# smoke check (one short benchmark through cmd/benchdiff), and the docs
-# checks (gofmt drift + relative-link rot in *.md).
+# smoke check (one short benchmark through cmd/benchdiff), a regression
+# diff of the anchor benchmarks against the latest BENCH_<n>.json
+# (bench-check), and the docs checks (gofmt drift + relative-link rot
+# in *.md).
 
 GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 BENCH ?= .
+# bench-check knobs: the anchor subset it runs and the regression
+# thresholds it tolerates. Single-run 1x numbers are noisy, so the
+# defaults are deliberately loose; tighten them for interleaved runs on
+# a quiet machine.
+BENCH_CHECK ?= ^(BenchmarkFig7|BenchmarkTable3|BenchmarkPartitionCached)$$
+BENCH_MAX_TIME ?= 0.50
+BENCH_MAX_BYTES ?= 0.25
 
-.PHONY: build vet test race bench bench-smoke fuzz-smoke docs-check verify
+.PHONY: build vet test race bench bench-smoke bench-check fuzz-smoke docs-check verify
 
 build:
 	$(GO) build ./...
@@ -48,6 +57,22 @@ bench-smoke:
 	$(GO) run ./cmd/benchdiff "$$tmp/a.json" "$$tmp/a.json" >/dev/null && \
 	echo "bench-smoke: snapshot + self-compare OK"
 
+# bench-check guards the anchor benchmarks against regressions: it runs
+# the BENCH_CHECK subset once, snapshots it, and diffs against the most
+# recent checked-in BENCH_<n>.json via cmd/benchdiff. Benchmarks present
+# in only one side (suite growth) are reported but never failed.
+# Override the thresholds per invocation, e.g.
+#   make bench-check BENCH_MAX_TIME=0.10 BENCHTIME=5x
+bench-check:
+	@latest=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1); \
+	if [ -z "$$latest" ]; then echo "bench-check: no BENCH_<n>.json snapshot found"; exit 1; fi; \
+	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) test -bench '$(BENCH_CHECK)' -benchtime $(BENCHTIME) -benchmem -run '^$$' . > "$$tmp/bench.txt" && \
+	$(GO) run ./cmd/benchdiff -snapshot -o "$$tmp/new.json" "$$tmp/bench.txt" && \
+	echo "bench-check: comparing against $$latest" && \
+	$(GO) run ./cmd/benchdiff -max-time-regress $(BENCH_MAX_TIME) -max-bytes-regress $(BENCH_MAX_BYTES) \
+		"$$latest" "$$tmp/new.json"
+
 # fuzz-smoke runs each roadnet fuzz target for FUZZTIME (default 10s).
 # Go allows one -fuzz target per invocation, so the targets run in
 # sequence; seeds come from internal/roadnet/testdata plus the inline
@@ -66,4 +91,4 @@ docs-check:
 	$(GO) vet ./...
 	$(GO) test -run TestDocsLinks .
 
-verify: build vet test race fuzz-smoke bench-smoke docs-check
+verify: build vet test race fuzz-smoke bench-smoke bench-check docs-check

@@ -8,7 +8,10 @@ package roadpart
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -22,6 +25,7 @@ import (
 	"roadpart/internal/metrics"
 	"roadpart/internal/render"
 	"roadpart/internal/roadnet"
+	"roadpart/internal/server"
 	"roadpart/internal/supergraph"
 	"roadpart/internal/temporal"
 	"roadpart/internal/traffic"
@@ -375,4 +379,49 @@ func BenchmarkShortestPath(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPartitionCached measures POST /v1/partition through the full
+// HTTP handler, uncached versus served from the result cache. The hit
+// path is the whole point of internal/resultcache: parse + fingerprint +
+// replay should beat recomputing the pipeline by well over an order of
+// magnitude.
+func BenchmarkPartitionCached(b *testing.B) {
+	net := benchNet(b)
+	reqBody, err := json.Marshal(server.PartitionRequest{Network: net, K: 5, Scheme: "ASG", Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func(h http.Handler) *httptest.ResponseRecorder {
+		r := httptest.NewRequest(http.MethodPost, "/v1/partition", bytes.NewReader(reqBody))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		return w
+	}
+
+	b.Run("uncached", func(b *testing.B) {
+		h := server.New()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if w := post(h); w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		h := server.NewWith(server.Config{CacheMaxBytes: 64 << 20})
+		if w := post(h); w.Code != http.StatusOK { // warm the cache
+			b.Fatalf("warm-up status %d: %s", w.Code, w.Body.String())
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := post(h)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+			if got := w.Header().Get(server.CacheHeader); got != "hit" {
+				b.Fatalf("%s = %q, want hit", server.CacheHeader, got)
+			}
+		}
+	})
 }

@@ -11,22 +11,31 @@
 //	roadpart -net city.json -densities now.csv -k 8 -scheme AG -out parts.csv
 //	roadpart -preset M1 -autok -kmax 15
 //	roadpart -preset D1 -k 6 -timings   # per-stage breakdown (Table 3 layout)
+//	roadpart -preset D1 -k 6 -cache-dir /var/cache/roadpart   # reuse results
+//
+// -cache-dir reads and writes roadpart-cache/v1 snapshot files — the same
+// artifacts roadpartd's -cache-dir uses — so a result computed by either
+// binary is a cache hit for the other (see docs/FORMATS.md).
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"roadpart/internal/core"
 	"roadpart/internal/experiments"
 	"roadpart/internal/linalg"
 	"roadpart/internal/obs"
 	"roadpart/internal/render"
+	"roadpart/internal/resultcache"
 	"roadpart/internal/roadnet"
+	"roadpart/internal/server"
 )
 
 func main() {
@@ -45,6 +54,7 @@ func main() {
 		outPath  = flag.String("out", "", "write segment,partition CSV here")
 		svgPath  = flag.String("svg", "", "write an SVG map of the partitions here")
 		geoPath  = flag.String("geojson", "", "write a GeoJSON FeatureCollection with partition properties here")
+		cacheDir = flag.String("cache-dir", "", "read/write roadpart-cache/v1 result snapshots here (shared with roadpartd -cache-dir)")
 	)
 	flag.Parse()
 
@@ -56,6 +66,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var store *resultcache.Store
+	if *cacheDir != "" {
+		if store, err = resultcache.OpenStore(*cacheDir); err != nil {
+			fatal(err)
+		}
+	}
 	linalg.SetWorkers(*workers)
 	cfg := core.Config{K: *k, Scheme: scheme, StabilityEps: *stabEps, Seed: *seed, Workers: *workers}
 
@@ -64,32 +80,36 @@ func main() {
 		fatal(err)
 	}
 	if *autoK {
-		best, _, err := p.BestKByANS(2, *kmax)
+		best, err := bestK(store, p, net, cfg, *kmax)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("selected k=%d by ANS minimum\n", best)
 		cfg.K = best
 	}
-	res, err := p.PartitionK(cfg.K)
+	resp, cacheState, err := partition(store, p, net, cfg)
 	if err != nil {
 		fatal(err)
 	}
 
 	st := net.Stats()
 	fmt.Printf("network: %d intersections, %d segments\n", st.Intersections, st.Segments)
-	fmt.Printf("scheme:  %v (k=%d, k'=%d)\n", scheme, res.K, res.KPrime)
+	fmt.Printf("scheme:  %v (k=%d, k'=%d)\n", scheme, resp.K, resp.KPrime)
+	if store != nil {
+		fmt.Printf("cache:   %s\n", cacheState)
+	}
 	fmt.Printf("quality: inter=%.4f intra=%.4f GDBI=%.4f ANS=%.4f\n",
-		res.Report.Inter, res.Report.Intra, res.Report.GDBI, res.Report.ANS)
+		resp.Report.Inter, resp.Report.Intra, resp.Report.GDBI, resp.Report.ANS)
 	fmt.Printf("timing:  module1=%v module2=%v module3=%v total=%v\n",
-		res.Timing.Module1, res.Timing.Module2, res.Timing.Module3, res.Timing.Total)
+		msDur(resp.Timing.Module1Ms), msDur(resp.Timing.Module2Ms),
+		msDur(resp.Timing.Module3Ms), msDur(resp.Timing.TotalMs))
 
 	sizes := make(map[int]int)
-	for _, p := range res.Assign {
+	for _, p := range resp.Assign {
 		sizes[p]++
 	}
 	fmt.Printf("partition sizes:")
-	for i := 0; i < res.K; i++ {
+	for i := 0; i < resp.K; i++ {
 		fmt.Printf(" %d", sizes[i])
 	}
 	fmt.Println()
@@ -102,13 +122,13 @@ func main() {
 	}
 
 	if *outPath != "" {
-		if err := writeAssignment(*outPath, res.Assign); err != nil {
+		if err := writeAssignment(*outPath, resp.Assign); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *outPath)
 	}
 	if *svgPath != "" {
-		if err := writeSVG(*svgPath, net, res); err != nil {
+		if err := writeSVG(*svgPath, net, resp); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *svgPath)
@@ -118,7 +138,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := net.WriteGeoJSON(f, res.Assign); err != nil {
+		if err := net.WriteGeoJSON(f, resp.Assign); err != nil {
 			f.Close()
 			fatal(err)
 		}
@@ -129,13 +149,93 @@ func main() {
 	}
 }
 
-func writeSVG(path string, net *roadnet.Network, res *core.Result) error {
+// partition produces the partition result as a server.PartitionResponse —
+// the same artifact POST /v1/partition serves — so that a -cache-dir shared
+// with roadpartd lets either binary reuse the other's work. The returned
+// state is "hit", "miss" or "off".
+func partition(store *resultcache.Store, p *core.Pipeline, net *roadnet.Network, cfg core.Config) (*server.PartitionResponse, string, error) {
+	key := resultcache.PartitionKey(net, cfg)
+	if store != nil {
+		if body, ok, err := store.Read(key); err == nil && ok {
+			var resp server.PartitionResponse
+			if json.Unmarshal(body, &resp) == nil {
+				return &resp, "hit", nil
+			}
+		}
+	}
+	t0 := time.Now()
+	res, err := p.PartitionK(cfg.K)
+	if err != nil {
+		return nil, "", err
+	}
+	resp := &server.PartitionResponse{
+		Assign: res.Assign,
+		K:      res.K,
+		KPrime: res.KPrime,
+		Report: res.Report,
+		Timing: server.TimingJSON{
+			Module1Ms: float64(res.Timing.Module1) / float64(time.Millisecond),
+			Module2Ms: float64(res.Timing.Module2) / float64(time.Millisecond),
+			Module3Ms: float64(res.Timing.Module3) / float64(time.Millisecond),
+			TotalMs:   float64(res.Timing.Total) / float64(time.Millisecond),
+		},
+		Elapsed: time.Since(t0).String(),
+	}
+	if store == nil {
+		return resp, "off", nil
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := store.Write(key, body); err != nil {
+		fmt.Fprintf(os.Stderr, "roadpart: cache write: %v\n", err)
+	}
+	return resp, "miss", nil
+}
+
+// bestK selects k by the ANS minimum over [2, kmax], consulting and
+// updating the shared sweep snapshot when a store is configured.
+func bestK(store *resultcache.Store, p *core.Pipeline, net *roadnet.Network, cfg core.Config, kmax int) (int, error) {
+	key := resultcache.SweepKey(net, cfg, 2, kmax)
+	if store != nil {
+		if body, ok, err := store.Read(key); err == nil && ok {
+			var resp server.SweepResponse
+			if json.Unmarshal(body, &resp) == nil && resp.BestK >= 2 {
+				return resp.BestK, nil
+			}
+		}
+	}
+	best, sweep, err := p.BestKByANS(2, kmax)
+	if err != nil {
+		return 0, err
+	}
+	if store != nil {
+		resp := server.SweepResponse{BestK: best}
+		for _, pt := range sweep {
+			resp.Points = append(resp.Points, server.SweepPointJSON{K: pt.K, Report: pt.Result.Report})
+		}
+		if body, err := json.Marshal(resp); err == nil {
+			if err := store.Write(key, body); err != nil {
+				fmt.Fprintf(os.Stderr, "roadpart: cache write: %v\n", err)
+			}
+		}
+	}
+	return best, nil
+}
+
+// msDur renders a millisecond count the way a time.Duration prints.
+func msDur(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond)).Round(time.Microsecond)
+}
+
+func writeSVG(path string, net *roadnet.Network, resp *server.PartitionResponse) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	title := fmt.Sprintf("k=%d ANS=%.4f", res.K, res.Report.ANS)
-	if err := render.Partitions(f, net, res.Assign, render.Options{Title: title}); err != nil {
+	title := fmt.Sprintf("k=%d ANS=%.4f", resp.K, resp.Report.ANS)
+	if err := render.Partitions(f, net, resp.Assign, render.Options{Title: title}); err != nil {
 		f.Close()
 		return err
 	}

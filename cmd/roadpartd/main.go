@@ -23,6 +23,14 @@
 // Retry-After once saturated; off by default). docs/TUNING.md § Failure
 // modes describes how these degrade under overload.
 //
+// Repeated identical partition/sweep requests are answered from a
+// content-addressed result cache (-cache-max-bytes, 256 MiB by default;
+// 0 disables) without consuming a compute slot; responses carry an
+// X-Roadpart-Cache: hit|miss header. With -cache-dir the cache also
+// persists roadpart-cache/v1 snapshot files and warms from them at
+// startup, so a restarted daemon keeps its hot set (see docs/FORMATS.md
+// and docs/TUNING.md § Result caching).
+//
 // SIGINT or SIGTERM triggers a graceful shutdown: the listener closes
 // immediately, in-flight requests get -drain to finish, then the process
 // exits.
@@ -64,17 +72,27 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently computing partition/sweep requests; 0 = unlimited")
 	maxQueue := flag.Int("max-queue", 16, "max requests queued for a compute slot before shedding with 429")
 	queueWait := flag.Duration("queue-wait", 5*time.Second, "max time a queued request waits for a slot before shedding with 503")
+
+	// Result cache: repeated identical partition/sweep requests replay
+	// the first response byte for byte instead of recomputing.
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 256<<20, "in-memory result cache budget in bytes; 0 disables caching")
+	cacheDir := flag.String("cache-dir", "", "directory for roadpart-cache/v1 snapshots; warms the cache on restart (empty = memory only)")
 	flag.Parse()
 
 	linalg.SetWorkers(*workers)
-	handler := server.NewWith(server.Config{
+	handler, err := server.NewChecked(server.Config{
 		Workers:        *workers,
 		DefaultTimeout: *requestTimeout,
 		MaxTimeout:     *maxRequestTimeout,
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
 		QueueWait:      *queueWait,
+		CacheMaxBytes:  *cacheMaxBytes,
+		CacheDir:       *cacheDir,
 	})
+	if err != nil {
+		log.Fatalf("roadpartd: %v", err)
+	}
 	if *withPprof {
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)

@@ -121,6 +121,50 @@ type Config struct {
 	Workers int
 }
 
+// Normalized returns the config with every zero-value "use a default"
+// field replaced by the default the pipeline actually applies downstream
+// (the κ-sweep bounds inside cluster.SweepKappa, the MCG threshold
+// inside supergraph.Mine, the spectral options inside cut). Two configs
+// with equal Normalized forms drive identical pipelines on the same
+// inputs, which is exactly what content-addressed result caching keys
+// on (internal/resultcache); the pinned values are cross-checked against
+// the downstream packages by TestNormalizedMatchesDownstreamDefaults.
+//
+// Fields that do not influence the output are canonicalized away:
+// Workers is forced to 0 (worker count never changes results — the
+// determinism guarantee), and for schemes that skip module 2 the mining
+// parameters are zeroed because they are never read.
+func (c Config) Normalized() Config {
+	if c.Scheme.usesSupergraph() {
+		if c.EpsTheta != 0 {
+			c.EpsThetaFrac = 0 // ignored when the absolute threshold is set
+		} else if c.EpsThetaFrac == 0 {
+			c.EpsThetaFrac = 0.8
+		}
+		if c.KappaMax == 0 {
+			c.KappaMax = 25
+		}
+		if c.SampleSize == 0 {
+			c.SampleSize = 2000
+		}
+	} else {
+		c.EpsTheta = 0
+		c.EpsThetaFrac = 0
+		c.KappaMax = 0
+		c.SampleSize = 0
+		c.StabilityEps = 0
+		c.Weighting = 0
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 5
+	}
+	if c.DenseCutoff == 0 {
+		c.DenseCutoff = 900
+	}
+	c.Workers = 0
+	return c
+}
+
 // Timing is the per-module wall-clock breakdown of Table 3.
 type Timing struct {
 	Module1 time.Duration // road graph construction

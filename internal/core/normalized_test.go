@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"roadpart/internal/cut"
+)
+
+// TestNormalizedMatchesDownstreamDefaults cross-checks the values pinned
+// inside Config.Normalized against the packages that actually apply
+// them, so a default changed downstream cannot silently desynchronize
+// the cache-key canonicalization.
+func TestNormalizedMatchesDownstreamDefaults(t *testing.T) {
+	n := Config{Scheme: ASG}.Normalized()
+	// supergraph.Mine: EpsThetaFrac 0 → 0.8; cluster.SweepKappa:
+	// KappaMax 0 → 25, SampleSize 0 → 2000. Pinned literals there.
+	if n.EpsThetaFrac != 0.8 || n.KappaMax != 25 || n.SampleSize != 2000 {
+		t.Fatalf("mining defaults = (%v, %d, %d), want (0.8, 25, 2000)",
+			n.EpsThetaFrac, n.KappaMax, n.SampleSize)
+	}
+	// cut.Options.normalized is exported enough to check directly.
+	co := cut.Options{}.Normalized()
+	if n.Restarts != co.Restarts {
+		t.Fatalf("Restarts default %d, cut uses %d", n.Restarts, co.Restarts)
+	}
+	if n.DenseCutoff != co.DenseCutoff {
+		t.Fatalf("DenseCutoff default %d, cut uses %d", n.DenseCutoff, co.DenseCutoff)
+	}
+}
+
+func TestNormalizedCanonicalizesIrrelevantFields(t *testing.T) {
+	// Workers never changes output, so it must never split cache keys.
+	a := Config{Scheme: ASG, K: 4, Workers: 1}.Normalized()
+	b := Config{Scheme: ASG, K: 4, Workers: 8}.Normalized()
+	if a != b {
+		t.Fatalf("worker count split normalized configs: %+v vs %+v", a, b)
+	}
+	// AG/NG never run module 2, so mining knobs must not split keys.
+	ag1 := Config{Scheme: AG, K: 4, KappaMax: 10, EpsThetaFrac: 0.5, StabilityEps: 0.2}.Normalized()
+	ag2 := Config{Scheme: AG, K: 4}.Normalized()
+	if ag1 != ag2 {
+		t.Fatalf("unused mining fields split AG configs: %+v vs %+v", ag1, ag2)
+	}
+	// An absolute EpsTheta makes the fraction dead; it must be dropped.
+	abs1 := Config{Scheme: ASG, EpsTheta: 0.4, EpsThetaFrac: 0.7}.Normalized()
+	abs2 := Config{Scheme: ASG, EpsTheta: 0.4}.Normalized()
+	if abs1 != abs2 {
+		t.Fatalf("dead EpsThetaFrac split configs: %+v vs %+v", abs1, abs2)
+	}
+}
+
+func TestNormalizedPreservesMeaningfulFields(t *testing.T) {
+	c := Config{Scheme: NSG, K: 7, StabilityEps: 0.3, Refine: true, Seed: 99,
+		Restarts: 2, DenseCutoff: -1}
+	n := c.Normalized()
+	if n.K != 7 || n.Scheme != NSG || n.StabilityEps != 0.3 || !n.Refine || n.Seed != 99 {
+		t.Fatalf("meaningful fields mutated: %+v", n)
+	}
+	if n.Restarts != 2 {
+		t.Fatalf("explicit Restarts overridden: %d", n.Restarts)
+	}
+	if n.DenseCutoff != -1 {
+		t.Fatalf("negative DenseCutoff sentinel overridden: %d", n.DenseCutoff)
+	}
+}

@@ -45,14 +45,20 @@ type Options struct {
 	// Seed drives eigensolver start vectors and k-means.
 	Seed uint64
 	// Restarts is the best-of-n k-means restarts on the spectral
-	// embedding. 0 selects 5.
+	// embedding. 0 selects 5; a restart count below 1 is meaningless, so
+	// no sentinel exists (the zero value intentionally cannot mean "no
+	// restarts").
 	Restarts int
 	// DenseCutoff: operators up to this order use the dense O(n³)
-	// eigensolver, larger ones use Lanczos. 0 selects 900.
+	// eigensolver, larger ones use Lanczos. 0 selects 900; any negative
+	// value forces Lanczos at every order — the "always sparse" setting
+	// that a literal 0 cannot express because 0 selects the default.
 	DenseCutoff int
 	// Reduction selects how k′ > k partitions are brought down to k.
 	Reduction Reduction
 	// Alpha is the constant balance for MethodScalarAlpha; 0 selects 0.5.
+	// The degenerate α=0 (no balance term at all) is intentionally not
+	// expressible — it reduces the objective to a plain min-cut.
 	Alpha float64
 	// AcceptKPrime skips the k′→k reduction and returns the k′ disjoint
 	// partitions as the final result — Section 5.4 notes they "may be
@@ -65,6 +71,13 @@ type Options struct {
 	// seed — this is purely a resource knob.
 	Workers int
 }
+
+// Normalized returns o with every zero-value field replaced by its
+// default — the options the partitioner will actually run with. Exposed
+// so callers that fingerprint configurations (internal/resultcache via
+// core.Config.Normalized) can canonicalize against the same source of
+// truth the partitioner uses.
+func (o Options) Normalized() Options { return o.normalized() }
 
 // normalized returns o with every zero-value field replaced by its
 // default. It is the single source of option defaults: Partition and

@@ -34,14 +34,20 @@ type Config struct {
 	// Scheme is the partitioning scheme at every level. ASG everywhere is
 	// the scalable choice.
 	Scheme core.Scheme
-	// MaxDepth bounds recursion below the root. 0 selects 3.
+	// MaxDepth bounds recursion below the root. 0 selects 3; any
+	// negative value means "root only" (no splitting at all) — the
+	// meaningful zero that a literal 0 cannot express.
 	MaxDepth int
-	// MinSize stops splitting regions with fewer segments. 0 selects 32.
+	// MinSize stops splitting regions with fewer segments. 0 selects 32;
+	// "no size floor" is expressed as 1 (every region has at least one
+	// segment), so no sentinel is needed.
 	MinSize int
-	// KMax bounds the per-level ANS sweep. 0 selects 6.
+	// KMax bounds the per-level ANS sweep. 0 selects 6; a bound below 2
+	// is meaningless, so no sentinel exists.
 	KMax int
 	// KeepANS: a region whose best split scores worse than this stays a
-	// leaf. 0 selects 0.8.
+	// leaf. 0 selects 0.8; any negative value means "never split" (ANS
+	// is non-negative, so every candidate split is refused).
 	KeepANS float64
 	// Seed drives all randomized stages.
 	Seed uint64

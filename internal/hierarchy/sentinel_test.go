@@ -1,0 +1,37 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"roadpart/internal/core"
+)
+
+// MaxDepth and KeepANS both have meaningful zeros that the zero value
+// cannot express (0 selects the default); negatives are the sentinels.
+
+func TestNegativeMaxDepthKeepsRootOnly(t *testing.T) {
+	net := hierNet(t)
+	root, err := Build(net, Config{Scheme: core.ASG, Seed: 1, MaxDepth: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Children != nil {
+		t.Fatal("MaxDepth < 0 must mean root only, but the root split")
+	}
+	if len(root.Members) != len(net.Segments) {
+		t.Fatalf("root spans %d of %d segments", len(root.Members), len(net.Segments))
+	}
+}
+
+func TestNegativeKeepANSNeverSplits(t *testing.T) {
+	net := hierNet(t)
+	root, err := Build(net, Config{Scheme: core.ASG, Seed: 1, KeepANS: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ANS is non-negative, so every candidate split scores worse than a
+	// negative threshold and is refused.
+	if root.Children != nil {
+		t.Fatal("KeepANS < 0 must refuse every split, but the root split")
+	}
+}

@@ -1,0 +1,88 @@
+package resultcache
+
+import (
+	"encoding/binary"
+	"hash"
+	"hash/fnv"
+	"math"
+
+	"roadpart/internal/core"
+	"roadpart/internal/roadnet"
+)
+
+// Operation names — the Key.Op keyspaces shared by the HTTP handlers
+// and the roadpart CLI, so both address the same snapshot files.
+const (
+	OpPartition = "partition"
+	OpSweep     = "sweep"
+)
+
+// hasher is a convenience wrapper around FNV-64a for mixed-type input.
+type hasher struct {
+	h   hash.Hash64
+	buf [8]byte
+}
+
+func newHasher() *hasher { return &hasher{h: fnv.New64a()} }
+
+func (h *hasher) u64(v uint64) {
+	binary.LittleEndian.PutUint64(h.buf[:], v)
+	_, _ = h.h.Write(h.buf[:])
+}
+
+func (h *hasher) i64(v int64)   { h.u64(uint64(v)) }
+func (h *hasher) f64(v float64) { h.u64(math.Float64bits(v)) }
+func (h *hasher) sum64() uint64 { return h.h.Sum64() }
+
+func (h *hasher) boolean(v bool) {
+	if v {
+		h.u64(1)
+	} else {
+		h.u64(0)
+	}
+}
+
+// hashConfig folds the normalized config fields that determine the
+// result into h. Workers and the dead mining fields are already
+// canonicalized away by core.Config.Normalized.
+func hashConfig(h *hasher, cfg core.Config) {
+	cfg = cfg.Normalized()
+	h.i64(int64(cfg.Scheme))
+	h.f64(cfg.StabilityEps)
+	h.f64(cfg.EpsTheta)
+	h.f64(cfg.EpsThetaFrac)
+	h.i64(int64(cfg.KappaMax))
+	h.i64(int64(cfg.SampleSize))
+	h.i64(int64(cfg.Restarts))
+	h.i64(int64(cfg.DenseCutoff))
+	h.i64(int64(cfg.Weighting))
+	h.boolean(cfg.Refine)
+	h.u64(cfg.Seed)
+}
+
+// PartitionKey fingerprints one partition request: network structure,
+// densities, the normalized config and its k. Workers and request
+// timeouts are deliberately excluded — neither changes the result
+// (worker-count determinism is the repo's standing guarantee).
+func PartitionKey(net *roadnet.Network, cfg core.Config) Key {
+	h := newHasher()
+	h.u64(net.StructureHash())
+	h.u64(net.DensityHash())
+	hashConfig(h, cfg)
+	h.i64(int64(cfg.K))
+	return Key{Op: OpPartition, Sum: h.sum64()}
+}
+
+// SweepKey fingerprints one k-sweep request over [kMin, kMax]. cfg.K is
+// ignored (a sweep has no single k); the bounds are hashed after the
+// caller applies its own defaulting/clamping so that two requests
+// resolving to the same effective range share an entry.
+func SweepKey(net *roadnet.Network, cfg core.Config, kMin, kMax int) Key {
+	h := newHasher()
+	h.u64(net.StructureHash())
+	h.u64(net.DensityHash())
+	hashConfig(h, cfg)
+	h.i64(int64(kMin))
+	h.i64(int64(kMax))
+	return Key{Op: OpSweep, Sum: h.sum64()}
+}

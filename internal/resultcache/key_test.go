@@ -1,0 +1,97 @@
+package resultcache
+
+import (
+	"testing"
+
+	"roadpart/internal/core"
+	"roadpart/internal/roadnet"
+)
+
+func keyNet() *roadnet.Network {
+	return &roadnet.Network{
+		Intersections: []roadnet.Intersection{{ID: 0}, {ID: 1, X: 100}, {ID: 2, Y: 100}},
+		Segments: []roadnet.Segment{
+			{ID: 0, From: 0, To: 1, Length: 100, Density: 0.02},
+			{ID: 1, From: 1, To: 2, Length: 141, Density: 0.05},
+		},
+	}
+}
+
+func TestPartitionKeyDeterministic(t *testing.T) {
+	cfg := core.Config{Scheme: core.ASG, K: 4, Seed: 7}
+	a := PartitionKey(keyNet(), cfg)
+	b := PartitionKey(keyNet(), cfg)
+	if a != b {
+		t.Fatalf("identical inputs produced %v and %v", a, b)
+	}
+	if a.Op != OpPartition {
+		t.Fatalf("op = %q", a.Op)
+	}
+}
+
+func TestPartitionKeyIgnoresWorkers(t *testing.T) {
+	// Worker count never changes output, so it must never split keys —
+	// otherwise a client flipping workers would defeat the cache.
+	a := PartitionKey(keyNet(), core.Config{Scheme: core.ASG, K: 4, Seed: 7, Workers: 1})
+	b := PartitionKey(keyNet(), core.Config{Scheme: core.ASG, K: 4, Seed: 7, Workers: 8})
+	if a != b {
+		t.Fatal("worker count split partition keys")
+	}
+}
+
+func TestPartitionKeySensitivity(t *testing.T) {
+	base := PartitionKey(keyNet(), core.Config{Scheme: core.ASG, K: 4, Seed: 7})
+	cases := map[string]Key{
+		"k":      PartitionKey(keyNet(), core.Config{Scheme: core.ASG, K: 5, Seed: 7}),
+		"seed":   PartitionKey(keyNet(), core.Config{Scheme: core.ASG, K: 4, Seed: 8}),
+		"scheme": PartitionKey(keyNet(), core.Config{Scheme: core.AG, K: 4, Seed: 7}),
+		"refine": PartitionKey(keyNet(), core.Config{Scheme: core.ASG, K: 4, Seed: 7, Refine: true}),
+	}
+	dens := keyNet()
+	dens.Segments[0].Density = 0.021
+	cases["density"] = PartitionKey(dens, core.Config{Scheme: core.ASG, K: 4, Seed: 7})
+	topo := keyNet()
+	topo.Segments[1].To = 0
+	cases["topology"] = PartitionKey(topo, core.Config{Scheme: core.ASG, K: 4, Seed: 7})
+	for name, k := range cases {
+		if k == base {
+			t.Errorf("changing %s did not move the key", name)
+		}
+	}
+}
+
+func TestPartitionKeyNormalizesDefaults(t *testing.T) {
+	// A spelled-out default and the zero value are the same pipeline, so
+	// they must share a key.
+	a := PartitionKey(keyNet(), core.Config{Scheme: core.ASG, K: 4, Seed: 7})
+	b := PartitionKey(keyNet(), core.Config{Scheme: core.ASG, K: 4, Seed: 7,
+		EpsThetaFrac: 0.8, KappaMax: 25, SampleSize: 2000, Restarts: 5, DenseCutoff: 900})
+	if a != b {
+		t.Fatal("explicit defaults split keys from zero-value config")
+	}
+}
+
+func TestSweepKeyIgnoresKButNotRange(t *testing.T) {
+	cfg := core.Config{Scheme: core.ASG, Seed: 7}
+	a := SweepKey(keyNet(), cfg, 2, 6)
+	cfgK := cfg
+	cfgK.K = 99
+	if b := SweepKey(keyNet(), cfgK, 2, 6); a != b {
+		t.Fatal("cfg.K split sweep keys")
+	}
+	if b := SweepKey(keyNet(), cfg, 2, 7); a == b {
+		t.Fatal("kMax change did not move the sweep key")
+	}
+	if a.Op != OpSweep {
+		t.Fatalf("op = %q", a.Op)
+	}
+}
+
+func TestPartitionAndSweepKeyspacesDisjoint(t *testing.T) {
+	cfg := core.Config{Scheme: core.ASG, Seed: 7}
+	p := PartitionKey(keyNet(), cfg)
+	s := SweepKey(keyNet(), cfg, 2, 6)
+	if p == s {
+		t.Fatal("partition and sweep keys collide")
+	}
+}

@@ -1,0 +1,196 @@
+package resultcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// StoreSchema versions the on-disk snapshot format, following the
+// roadpart-bench/v1 convention: readers reject anything else, so a
+// future format change cannot be misread as today's (see
+// docs/FORMATS.md § Result-cache snapshots).
+const StoreSchema = "roadpart-cache/v1"
+
+// storeEntry is the JSON document written per cached result.
+type storeEntry struct {
+	Schema string `json:"schema"`
+	Op     string `json:"op"`
+	// Key is the content fingerprint in %016x form; it must match the
+	// filename, so a renamed or hand-edited snapshot is rejected instead
+	// of served under the wrong key.
+	Key string `json:"key"`
+	// Body is the cached response exactly as served (a JSON document
+	// itself, embedded raw so the file stays greppable).
+	Body json.RawMessage `json:"body"`
+}
+
+// opPattern restricts operation names to path-safe lowercase words: the
+// op is spliced into filenames.
+var opPattern = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// Store persists cache entries as one JSON file per result in a flat
+// directory. Unlike the in-memory Cache's best-effort persistence, Store
+// methods return real errors — the CLI surfaces them to the operator.
+type Store struct{ dir string }
+
+// OpenStore creates dir if needed and returns a store over it.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: preparing snapshot dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the directory backing the store.
+func (s *Store) Dir() string { return s.dir }
+
+// path names the snapshot file for key: <op>-<sum hex>.json.
+func (s *Store) path(key Key) string {
+	return filepath.Join(s.dir, key.String()+".json")
+}
+
+// Write persists body under key atomically (temp file + rename), so a
+// crash mid-write leaves either the old snapshot or none — never a
+// truncated one that Load would have to reject.
+func (s *Store) Write(key Key, body []byte) error {
+	if !opPattern.MatchString(key.Op) {
+		return fmt.Errorf("resultcache: unsafe op name %q", key.Op)
+	}
+	doc, err := json.Marshal(storeEntry{
+		Schema: StoreSchema,
+		Op:     key.Op,
+		Key:    fmt.Sprintf("%016x", key.Sum),
+		Body:   json.RawMessage(body),
+	})
+	if err != nil {
+		return fmt.Errorf("resultcache: encoding snapshot %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "."+key.Op+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("resultcache: writing snapshot %s: %w", key, err)
+	}
+	if _, err := tmp.Write(append(doc, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: writing snapshot %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: writing snapshot %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: writing snapshot %s: %w", key, err)
+	}
+	return nil
+}
+
+// Read loads the body stored under key. The boolean reports whether a
+// valid snapshot exists; schema or key mismatches read as absent-with-
+// error so callers can distinguish "cold" from "corrupt".
+func (s *Store) Read(key Key) ([]byte, bool, error) {
+	data, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("resultcache: reading snapshot %s: %w", key, err)
+	}
+	body, err := decodeEntry(data, key)
+	if err != nil {
+		return nil, false, err
+	}
+	return body, true, nil
+}
+
+// LoadAll reads every valid snapshot in the directory, oldest-modified
+// first. Invalid files are skipped, not fatal: one corrupt snapshot must
+// not take down a daemon warming its cache.
+func (s *Store) LoadAll() ([]StoredEntry, error) {
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("resultcache: scanning snapshot dir: %w", err)
+	}
+	type candidate struct {
+		name string
+		mod  int64
+	}
+	cands := make([]candidate, 0, len(names))
+	for _, name := range names {
+		fi, err := os.Stat(name)
+		if err != nil {
+			continue
+		}
+		cands = append(cands, candidate{name, fi.ModTime().UnixNano()})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].mod < cands[j].mod })
+	var out []StoredEntry
+	for _, cand := range cands {
+		key, ok := keyFromFilename(filepath.Base(cand.name))
+		if !ok {
+			continue
+		}
+		data, err := os.ReadFile(cand.name)
+		if err != nil {
+			continue
+		}
+		body, err := decodeEntry(data, key)
+		if err != nil {
+			continue
+		}
+		out = append(out, StoredEntry{Key: key, Body: body})
+	}
+	return out, nil
+}
+
+// StoredEntry is one snapshot loaded from disk.
+type StoredEntry struct {
+	Key  Key
+	Body []byte
+}
+
+// decodeEntry validates one snapshot document against the key it claims
+// to hold.
+func decodeEntry(data []byte, key Key) ([]byte, error) {
+	var e storeEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("resultcache: snapshot %s: %w", key, err)
+	}
+	if e.Schema != StoreSchema {
+		return nil, fmt.Errorf("resultcache: snapshot %s has schema %q, want %q", key, e.Schema, StoreSchema)
+	}
+	if e.Op != key.Op || e.Key != fmt.Sprintf("%016x", key.Sum) {
+		return nil, fmt.Errorf("resultcache: snapshot %s claims key %s-%s", key, e.Op, e.Key)
+	}
+	if len(e.Body) == 0 {
+		return nil, fmt.Errorf("resultcache: snapshot %s has no body", key)
+	}
+	return []byte(e.Body), nil
+}
+
+// keyFromFilename parses <op>-<16 hex>.json back into a Key.
+func keyFromFilename(name string) (Key, bool) {
+	base := strings.TrimSuffix(name, ".json")
+	if base == name {
+		return Key{}, false
+	}
+	i := strings.LastIndexByte(base, '-')
+	if i < 1 || len(base)-i-1 != 16 {
+		return Key{}, false
+	}
+	op := base[:i]
+	if !opPattern.MatchString(op) {
+		return Key{}, false
+	}
+	sum, err := strconv.ParseUint(base[i+1:], 16, 64)
+	if err != nil {
+		return Key{}, false
+	}
+	return Key{Op: op, Sum: sum}, true
+}

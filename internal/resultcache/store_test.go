@@ -1,0 +1,152 @@
+package resultcache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Op: "partition", Sum: 0xdeadbeef}
+	bodyJSON := []byte(`{"assign":[0,1],"k":2}`)
+	if err := st.Write(key, bodyJSON); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Read(key)
+	if err != nil || !ok {
+		t.Fatalf("Read = (%v, %v)", ok, err)
+	}
+	if string(got) != string(bodyJSON) {
+		t.Fatalf("body = %s, want %s", got, bodyJSON)
+	}
+	// The file itself carries the versioned schema.
+	data, err := os.ReadFile(filepath.Join(st.Dir(), "partition-00000000deadbeef.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if string(doc["schema"]) != `"roadpart-cache/v1"` {
+		t.Fatalf("schema = %s", doc["schema"])
+	}
+}
+
+func TestStoreReadMissing(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Read(Key{Op: "sweep", Sum: 1}); ok || err != nil {
+		t.Fatalf("missing snapshot read as (%v, %v), want cold", ok, err)
+	}
+}
+
+func TestStoreRejectsWrongSchemaAndKey(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Op: "partition", Sum: 7}
+	bad := `{"schema":"roadpart-cache/v2","op":"partition","key":"0000000000000007","body":{}}`
+	if err := os.WriteFile(st.path(key), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Read(key); err == nil {
+		t.Fatal("wrong-schema snapshot accepted")
+	}
+	// A renamed snapshot (file key ≠ document key) is rejected too.
+	moved := Key{Op: "partition", Sum: 8}
+	good := `{"schema":"roadpart-cache/v1","op":"partition","key":"0000000000000007","body":{"k":2}}`
+	if err := os.WriteFile(st.path(moved), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Read(moved); err == nil {
+		t.Fatal("renamed snapshot accepted under the wrong key")
+	}
+}
+
+func TestStoreRejectsUnsafeOp(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write(Key{Op: "../escape", Sum: 1}, []byte(`{}`)); err == nil {
+		t.Fatal("path-unsafe op accepted")
+	}
+}
+
+func TestCacheWarmsFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	first, err := New(Config{MaxBytes: 1 << 20, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Op: "sweep", Sum: 42}
+	first.Put(key, []byte(`{"best_k":4}`))
+
+	// A corrupt stray file must not break the warm-up.
+	if err := os.WriteFile(filepath.Join(dir, "sweep-000000000000ffff.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := New(Config{MaxBytes: 1 << 20, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := second.Get(key)
+	if !ok || string(got) != `{"best_k":4}` {
+		t.Fatalf("restarted cache holds (%q, %v), want warmed entry", got, ok)
+	}
+	if second.Len() != 1 {
+		t.Fatalf("Len = %d after warming past a corrupt file, want 1", second.Len())
+	}
+}
+
+func TestLoadAllOrdersByModTime(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	older := Key{Op: "partition", Sum: 1}
+	newer := Key{Op: "partition", Sum: 2}
+	if err := st.Write(older, []byte(`{"k":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write(newer, []byte(`{"k":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Force distinct mtimes regardless of filesystem resolution.
+	backdate(t, st.path(older), -2*time.Hour)
+	ents, err := st.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("loaded %d entries, want 2", len(ents))
+	}
+	if ents[0].Key != older || ents[1].Key != newer {
+		t.Fatalf("order = %v, %v; want oldest first", ents[0].Key, ents[1].Key)
+	}
+}
+
+// backdate shifts a file's mtime by d.
+func backdate(t *testing.T, path string, d time.Duration) {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := fi.ModTime().Add(d)
+	if err := os.Chtimes(path, mt, mt); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package roadnet
+
+import "testing"
+
+// twoSegmentNet builds a minimal valid network for fingerprint tests.
+func twoSegmentNet() *Network {
+	return &Network{
+		Intersections: []Intersection{{ID: 0}, {ID: 1, X: 100}, {ID: 2, Y: 100}},
+		Segments: []Segment{
+			{ID: 0, From: 0, To: 1, Length: 100, Density: 0.02},
+			{ID: 1, From: 1, To: 2, Length: 141, Density: 0.05},
+		},
+	}
+}
+
+func TestStructureHashStable(t *testing.T) {
+	a, b := twoSegmentNet(), twoSegmentNet()
+	if a.StructureHash() != b.StructureHash() {
+		t.Fatal("identical networks hash differently")
+	}
+	if a.DensityHash() != b.DensityHash() {
+		t.Fatal("identical densities hash differently")
+	}
+}
+
+func TestStructureHashSeparatesGeometryFromDensities(t *testing.T) {
+	base := twoSegmentNet()
+	// A density change must move DensityHash but not StructureHash.
+	dens := twoSegmentNet()
+	dens.Segments[1].Density = 0.051
+	if dens.StructureHash() != base.StructureHash() {
+		t.Fatal("density change moved StructureHash")
+	}
+	if dens.DensityHash() == base.DensityHash() {
+		t.Fatal("density change did not move DensityHash")
+	}
+	// A topology change must move StructureHash.
+	topo := twoSegmentNet()
+	topo.Segments[1].To = 0
+	if topo.StructureHash() == base.StructureHash() {
+		t.Fatal("rewired segment did not move StructureHash")
+	}
+	// A length change is structural too (lengths weight the dual graph).
+	long := twoSegmentNet()
+	long.Segments[0].Length = 101
+	if long.StructureHash() == base.StructureHash() {
+		t.Fatal("length change did not move StructureHash")
+	}
+}
+
+func TestStructureHashIgnoresCoordinates(t *testing.T) {
+	base := twoSegmentNet()
+	moved := twoSegmentNet()
+	moved.Intersections[2].X = 42
+	if moved.StructureHash() != base.StructureHash() {
+		t.Fatal("coordinate change moved StructureHash")
+	}
+}
+
+func TestHashesDistinguishCounts(t *testing.T) {
+	// An empty network and a nil-segment network must not collide with a
+	// populated one by accident of an empty byte stream.
+	empty := &Network{}
+	if empty.StructureHash() == twoSegmentNet().StructureHash() {
+		t.Fatal("empty network collides with populated network")
+	}
+	if empty.DensityHash() == twoSegmentNet().DensityHash() {
+		t.Fatal("empty density vector collides with populated one")
+	}
+}

@@ -9,7 +9,9 @@
 package roadnet
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 )
 
@@ -88,6 +90,49 @@ func (n *Network) SetDensities(d []float64) error {
 		n.Segments[i].Density = d[i]
 	}
 	return nil
+}
+
+// StructureHash returns a canonical FNV-64a fingerprint of the network's
+// road-graph structure: the intersection and segment counts plus every
+// segment's (From, To, Length) triple — exactly the inputs DualGraph
+// consumes. Two networks with equal hashes produce the same dual road
+// graph (modulo hash collisions). Densities, coordinates and IDs are
+// deliberately excluded: densities are hashed separately by DensityHash
+// so a re-partition of unchanged geometry under fresh traffic shares the
+// structural half of its cache key, and coordinates/IDs never influence
+// the partition.
+func (n *Network) StructureHash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	put(uint64(len(n.Intersections)))
+	put(uint64(len(n.Segments)))
+	for _, s := range n.Segments {
+		put(uint64(s.From))
+		put(uint64(s.To))
+		put(math.Float64bits(s.Length))
+	}
+	return h.Sum64()
+}
+
+// DensityHash returns a canonical FNV-64a fingerprint of the per-segment
+// density vector (the feature values v.f). Hashing the IEEE-754 bits
+// keeps the fingerprint exact: any density change — however small —
+// yields a different hash, which is what content-addressed result
+// caching requires.
+func (n *Network) DensityHash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(n.Segments)))
+	_, _ = h.Write(buf[:])
+	for _, s := range n.Segments {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s.Density))
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64()
 }
 
 // SegmentMidpoint returns the planar midpoint of segment i, used by

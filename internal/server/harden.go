@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"roadpart/internal/obs"
@@ -65,14 +66,6 @@ func recoverPanics(next http.Handler) http.Handler {
 	})
 }
 
-// admissionControlled marks the endpoints whose work is unbounded in the
-// request (a partition of an arbitrary network). Cheap endpoints —
-// health, metrics, render — bypass admission so the service stays
-// observable while saturated.
-func admissionControlled(path string) bool {
-	return path == "/v1/partition" || path == "/v1/sweep"
-}
-
 func (s *service) queueWait() time.Duration {
 	if s.cfg.QueueWait > 0 {
 		return s.cfg.QueueWait
@@ -99,63 +92,89 @@ func (s *service) shed(w http.ResponseWriter, status int, err error) {
 	writeErr(w, status, err)
 }
 
-// admit bounds the compute endpoints: at most MaxInFlight requests
-// partition concurrently, at most MaxQueue more wait (up to QueueWait)
-// for a slot, and everything beyond that is shed immediately — 429 when
-// the queue is full, 503 when the wait expires, 499 when the client
-// gives up while queued. MaxInFlight <= 0 disables the controller
-// entirely (the zero Config serves exactly as it did before admission
-// control existed).
-func (s *service) admit(next http.Handler) http.Handler {
-	if s.cfg.MaxInFlight <= 0 {
-		return next
+// admitError is an admission rejection carrying the HTTP status it maps
+// to (429 queue-full, 503 queue-timeout). It is deliberately not a
+// context error: the result cache treats it as an ordinary compute
+// failure — never cached, propagated to coalesced waiters — while the
+// ctx-done-while-queued path below returns a genuine context-wrapped
+// error so cancelled flights keep their non-poisoning semantics.
+type admitError struct {
+	status int
+	err    error
+}
+
+func (e *admitError) Error() string { return e.err.Error() }
+func (e *admitError) Unwrap() error { return e.err }
+
+// acquire claims an in-flight compute slot under the admission policy:
+// at most MaxInFlight requests compute concurrently, at most MaxQueue
+// more wait (up to QueueWait) for a slot, and everything beyond that is
+// rejected — 429 when the queue is full, 503 when the wait expires, and
+// the caller's own context error when the request dies while queued.
+// MaxInFlight <= 0 disables the controller entirely (the zero Config
+// serves exactly as before admission control existed). The returned
+// release is idempotent and must be called when the compute finishes.
+//
+// Handlers call acquire inside the compute closure, after the result
+// cache has missed: a cache hit or a coalesced wait on an identical
+// in-flight request never consumes a slot, and the cheap endpoints
+// (health, metrics, stats, render) never call it at all, so the service
+// stays observable while saturated.
+func (s *service) acquire(ctx context.Context) (release func(), err error) {
+	if s.slots == nil {
+		return func() {}, nil
 	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !admissionControlled(r.URL.Path) {
-			next.ServeHTTP(w, r)
-			return
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		// Saturated: try the wait queue.
+		if int(s.queued.Add(1)) > s.cfg.MaxQueue {
+			s.queued.Add(-1)
+			reqShedFull.Inc()
+			return nil, &admitError{http.StatusTooManyRequests,
+				fmt.Errorf("server saturated: %d in flight and %d queued", s.cfg.MaxInFlight, s.cfg.MaxQueue)}
 		}
+		queueGauge.Add(1)
+		wait := time.NewTimer(s.queueWait())
 		select {
 		case s.slots <- struct{}{}:
-		default:
-			// Saturated: try the wait queue.
-			if int(s.queued.Add(1)) > s.cfg.MaxQueue {
-				s.queued.Add(-1)
-				reqShedFull.Inc()
-				s.shed(w, http.StatusTooManyRequests,
-					fmt.Errorf("server saturated: %d in flight and %d queued", s.cfg.MaxInFlight, s.cfg.MaxQueue))
-				return
-			}
-			queueGauge.Add(1)
-			wait := time.NewTimer(s.queueWait())
-			select {
-			case s.slots <- struct{}{}:
-				wait.Stop()
-				s.queued.Add(-1)
-				queueGauge.Add(-1)
-			case <-wait.C:
-				s.queued.Add(-1)
-				queueGauge.Add(-1)
-				reqShedTimeout.Inc()
-				s.shed(w, http.StatusServiceUnavailable,
-					fmt.Errorf("server saturated: no capacity freed within %v", s.queueWait()))
-				return
-			case <-r.Context().Done():
-				wait.Stop()
-				s.queued.Add(-1)
-				queueGauge.Add(-1)
-				reqCancelled.Inc()
-				writeErr(w, StatusClientClosedRequest, fmt.Errorf("client closed request while queued"))
-				return
-			}
+			wait.Stop()
+			s.queued.Add(-1)
+			queueGauge.Add(-1)
+		case <-wait.C:
+			s.queued.Add(-1)
+			queueGauge.Add(-1)
+			reqShedTimeout.Inc()
+			return nil, &admitError{http.StatusServiceUnavailable,
+				fmt.Errorf("server saturated: no capacity freed within %v", s.queueWait())}
+		case <-ctx.Done():
+			wait.Stop()
+			s.queued.Add(-1)
+			queueGauge.Add(-1)
+			return nil, fmt.Errorf("request ended while queued for a compute slot: %w", ctx.Err())
 		}
-		inflightGauge.Add(1)
-		defer func() {
+	}
+	inflightGauge.Add(1)
+	var released atomic.Bool
+	return func() {
+		if released.CompareAndSwap(false, true) {
 			inflightGauge.Add(-1)
 			<-s.slots
-		}()
-		next.ServeHTTP(w, r)
-	})
+		}
+	}, nil
+}
+
+// writeComputeFailure maps a failed compute to its response: admission
+// rejections keep their status and Retry-After hint, everything else
+// follows writeComputeErr's 408/499/422 mapping (a request cancelled or
+// timed out while queued lands there via its wrapped context error).
+func (s *service) writeComputeFailure(w http.ResponseWriter, budget time.Duration, err error) {
+	var ae *admitError
+	if errors.As(err, &ae) {
+		s.shed(w, ae.status, ae.err)
+		return
+	}
+	writeComputeErr(w, budget, err)
 }
 
 // requestContext derives the compute context for one request: the

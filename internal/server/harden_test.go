@@ -89,9 +89,10 @@ func TestSweepTimeoutReturns408(t *testing.T) {
 	}
 }
 
-// admissionHarness wires the admit middleware around a handler that
-// blocks until released, so tests control exactly how many requests are
-// in flight. finish releases every blocked handler exactly once.
+// admissionHarness drives s.acquire exactly the way the compute
+// handlers do — acquire, block until released, release the slot — so
+// tests control exactly how many requests are in flight. finish
+// releases every blocked handler exactly once.
 type admissionHarness struct {
 	handler http.Handler
 	release chan struct{}
@@ -104,15 +105,21 @@ func newAdmissionHarness(cfg Config) *admissionHarness {
 		release: make(chan struct{}),
 		started: make(chan struct{}, 64),
 	}
-	s := &service{cfg: cfg}
-	if cfg.MaxInFlight > 0 {
-		s.slots = make(chan struct{}, cfg.MaxInFlight)
+	s, err := newService(cfg)
+	if err != nil {
+		panic(err)
 	}
-	ah.handler = s.admit(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	ah.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		free, err := s.acquire(r.Context())
+		if err != nil {
+			s.writeComputeFailure(w, 0, err)
+			return
+		}
+		defer free()
 		ah.started <- struct{}{}
 		<-ah.release
 		w.WriteHeader(http.StatusOK)
-	}))
+	})
 	return ah
 }
 
@@ -223,35 +230,29 @@ func TestAdmissionQueuedClientGoneReturns499(t *testing.T) {
 	<-done
 }
 
-// TestAdmissionBypassesCheapEndpoints asserts non-compute paths skip the
-// controller: they pass through even while the compute slot is held.
+// TestAdmissionBypassesCheapEndpoints asserts the non-compute endpoints
+// never touch the slot channel: with the only slot held and a zero
+// queue, health and metrics still answer 200 while a compute request is
+// shed with 429.
 func TestAdmissionBypassesCheapEndpoints(t *testing.T) {
-	ah := newAdmissionHarness(Config{MaxInFlight: 1, MaxQueue: 0, QueueWait: time.Millisecond})
-	defer ah.finish()
-
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		ah.do(computeReq())
-	}()
-	<-ah.started
-
-	// The stub handler blocks for every path, so bypass is proven by the
-	// health request reaching it (a second `started` signal) rather than
-	// being shed at the admission gate.
-	healthDone := make(chan struct{})
-	go func() {
-		defer close(healthDone)
-		ah.do(httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
-	}()
-	select {
-	case <-ah.started:
-	case <-time.After(2 * time.Second):
-		t.Fatal("healthz was held at the admission gate while compute was saturated")
+	s, err := newService(Config{Workers: 1, MaxInFlight: 1, MaxQueue: 0, QueueWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
 	}
-	ah.finish()
-	<-done
-	<-healthDone
+	s.slots <- struct{}{} // saturate compute capacity directly
+	h := s.handler()
+
+	for _, path := range []string{"/v1/healthz", "/v1/metrics", "/v1/stats"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d while saturated, want 200 (body: %s)", path, rec.Code, rec.Body.String())
+		}
+	}
+	rec := post(t, h, "/v1/partition", PartitionRequest{Network: testNet(t), K: 3, Scheme: "AG"})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated partition = %d, want 429 (body: %s)", rec.Code, rec.Body.String())
+	}
 }
 
 // TestRecoverPanicsReturns500 asserts a panicking handler becomes a 500

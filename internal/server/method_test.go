@@ -1,0 +1,70 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMethodEnforcementAllRoutes audits every route: the supported
+// method passes the gate, every other common method is answered 405
+// with an Allow header naming the one method the route serves.
+func TestMethodEnforcementAllRoutes(t *testing.T) {
+	srv := New()
+	routes := []struct {
+		path   string
+		method string // the single supported method
+	}{
+		{"/v1/healthz", http.MethodGet},
+		{"/v1/partition", http.MethodPost},
+		{"/v1/sweep", http.MethodPost},
+		{"/v1/render", http.MethodPost},
+		{"/v1/metrics", http.MethodGet},
+		{"/v1/stats", http.MethodGet},
+	}
+	wrong := []string{
+		http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete,
+		http.MethodPatch, http.MethodHead, http.MethodOptions,
+	}
+	for _, route := range routes {
+		for _, method := range wrong {
+			if method == route.method {
+				continue
+			}
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest(method, route.path, nil))
+			if rec.Code != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s = %d, want 405", method, route.path, rec.Code)
+				continue
+			}
+			if got := rec.Header().Get("Allow"); got != route.method {
+				t.Errorf("%s %s: Allow = %q, want %q", method, route.path, got, route.method)
+			}
+			if !strings.Contains(rec.Body.String(), "use "+route.method) {
+				t.Errorf("%s %s: body %q does not name the allowed method", method, route.path, rec.Body.String())
+			}
+		}
+	}
+}
+
+// TestSupportedMethodPassesGate spot-checks that the gate lets the
+// supported method through: GET routes answer 200 outright, and POST
+// routes get past 405 to a body-validation 400 on an empty body.
+func TestSupportedMethodPassesGate(t *testing.T) {
+	srv := New()
+	for _, path := range []string{"/v1/healthz", "/v1/metrics", "/v1/stats"} {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, rec.Code)
+		}
+	}
+	for _, path := range []string{"/v1/partition", "/v1/sweep", "/v1/render"} {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("POST %s (empty body) = %d, want 400", path, rec.Code)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -80,8 +79,7 @@ func (w *statusWriter) status() int {
 // Prometheus text exposition format — per-stage pipeline durations,
 // cache/restart/matvec tallies, and the per-endpoint request metrics.
 func handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+	if !allow(w, r, http.MethodGet) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -101,8 +99,7 @@ type StatsResponse struct {
 
 // handleStats serves GET /v1/stats.
 func handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+	if !allow(w, r, http.MethodGet) {
 		return
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{

@@ -11,17 +11,22 @@
 //	GET  /v1/stats      — JSON metrics snapshot + process info
 //
 // Requests carry the network inline (the roadnet JSON schema). The
-// service is stateless; every request is independent. All requests flow
-// through an instrumentation middleware that records per-endpoint
-// latency and status-code counters into the internal/obs registry, then
-// a panic-recovery net and (when configured) an admission controller
-// that bounds concurrent compute; each compute request runs under a
-// deadline-carrying context. Failure paths and their status codes
-// (408/429/499/503) are defined in harden.go and docs/API.md.
+// service holds no per-client state; every request is independent. All
+// requests flow through an instrumentation middleware that records
+// per-endpoint latency and status-code counters into the internal/obs
+// registry, then a panic-recovery net; each compute request runs under a
+// deadline-carrying context. When Config.CacheMaxBytes is set, compute
+// responses are served from a content-addressed result cache
+// (internal/resultcache) consulted BEFORE admission control — a cache
+// hit costs no compute slot — and every partition/sweep response then
+// carries an X-Roadpart-Cache: hit|miss header. Failure paths and their
+// status codes (408/429/499/503) are defined in harden.go and
+// docs/API.md.
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -31,6 +36,7 @@ import (
 	"roadpart/internal/core"
 	"roadpart/internal/metrics"
 	"roadpart/internal/render"
+	"roadpart/internal/resultcache"
 	"roadpart/internal/roadnet"
 )
 
@@ -61,11 +67,15 @@ type PartitionRequest struct {
 
 // PartitionResponse is the body of a successful partition call.
 type PartitionResponse struct {
-	Assign  []int          `json:"assign"`
-	K       int            `json:"k"`
-	Report  metrics.Report `json:"report"`
-	Timing  TimingJSON     `json:"timing"`
-	Elapsed string         `json:"elapsed"`
+	Assign []int `json:"assign"`
+	K      int   `json:"k"`
+	// KPrime is the disjoint partition count before the k′→k reduction.
+	KPrime int            `json:"k_prime"`
+	Report metrics.Report `json:"report"`
+	Timing TimingJSON     `json:"timing"`
+	// Elapsed is the wall-clock time of the compute that produced this
+	// body. A cached response replays the original compute's value.
+	Elapsed string `json:"elapsed"`
 }
 
 // TimingJSON is the module breakdown in milliseconds.
@@ -119,7 +129,9 @@ type Config struct {
 	// the client sends no timeout_ms. 0 imposes no server-side deadline
 	// (the request is still cancelled if the client disconnects).
 	DefaultTimeout time.Duration
-	// MaxTimeout caps the client-supplied timeout_ms. 0 selects 10m.
+	// MaxTimeout caps the client-supplied timeout_ms. 0 selects 10m;
+	// "no cap" is intentionally not expressible — an uncapped client
+	// deadline would let one request pin a compute slot indefinitely.
 	MaxTimeout time.Duration
 	// MaxInFlight bounds concurrently computing partition/sweep
 	// requests. 0 disables admission control.
@@ -128,29 +140,75 @@ type Config struct {
 	// requests are shed with 429. Meaningful only with MaxInFlight > 0.
 	MaxQueue int
 	// QueueWait bounds how long a queued request waits for a slot
-	// before being shed with 503. 0 selects 5s.
+	// before being shed with 503. 0 selects 5s; "shed immediately when
+	// saturated" is expressed with MaxQueue = 0, so a literal zero wait
+	// is intentionally not reachable through this field.
 	QueueWait time.Duration
+	// CacheMaxBytes bounds the in-memory content-addressed result cache
+	// over partition/sweep response bodies. 0 disables caching entirely
+	// — the zero Config serves exactly as it did before the cache
+	// existed; this is the field's meaningful zero, so no sentinel is
+	// needed. (cmd/roadpartd defaults its flag to 256 MiB.)
+	CacheMaxBytes int64
+	// CacheDir, when non-empty, persists cached results as
+	// roadpart-cache/v1 snapshot files and warms the cache from them at
+	// startup, so a restarted daemon keeps its hot set. Meaningful only
+	// with CacheMaxBytes > 0.
+	CacheDir string
 }
 
 // service carries the server configuration into the handlers.
 type service struct {
 	cfg    Config
-	slots  chan struct{} // in-flight tokens; nil when admission is off
-	queued atomic.Int64  // requests waiting for a slot
+	slots  chan struct{}      // in-flight tokens; nil when admission is off
+	queued atomic.Int64       // requests waiting for a slot
+	cache  *resultcache.Cache // nil when caching is off
 }
 
 // New returns the service's HTTP handler with default configuration.
 func New() http.Handler { return NewWith(Config{}) }
 
-// NewWith returns the service's HTTP handler under cfg. The handler
-// chain is instrument(recoverPanics(admit(mux))): accounting sees every
-// request including sheds and recovered panics, the panic net catches
-// anything below it, and admission bounds only the compute endpoints.
+// NewWith returns the service's HTTP handler under cfg, panicking if
+// CacheDir cannot be prepared (the only fallible setup); daemons that
+// want the error instead use NewChecked.
 func NewWith(cfg Config) http.Handler {
+	h, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// NewChecked is NewWith with setup errors reported instead of panicking.
+func NewChecked(cfg Config) (http.Handler, error) {
+	s, err := newService(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.handler(), nil
+}
+
+func newService(cfg Config) (*service, error) {
 	s := &service{cfg: cfg}
 	if cfg.MaxInFlight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInFlight)
 	}
+	if cfg.CacheMaxBytes > 0 {
+		c, err := resultcache.New(resultcache.Config{MaxBytes: cfg.CacheMaxBytes, Dir: cfg.CacheDir})
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+	}
+	return s, nil
+}
+
+// handler assembles the route table and middleware chain:
+// instrument(recoverPanics(mux)). Accounting sees every request
+// including recovered panics; admission control is no longer a
+// middleware — each compute handler acquires a slot (s.acquire) only
+// after its cache lookup misses, so cached responses never queue.
+func (s *service) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", handleHealth)
 	mux.HandleFunc("/v1/partition", s.handlePartition)
@@ -158,7 +216,7 @@ func NewWith(cfg Config) http.Handler {
 	mux.HandleFunc("/v1/render", handleRender)
 	mux.HandleFunc("/v1/metrics", handleMetrics)
 	mux.HandleFunc("/v1/stats", handleStats)
-	return instrument(recoverPanics(s.admit(mux)))
+	return instrument(recoverPanics(mux))
 }
 
 // workers resolves a request-level override against the server default.
@@ -215,8 +273,7 @@ func handleRender(w http.ResponseWriter, r *http.Request) {
 }
 
 func handleHealth(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+	if !allow(w, r, http.MethodGet) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -246,15 +303,45 @@ func (s *service) handlePartition(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel, budget := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
-	t0 := time.Now()
-	res, err := core.PartitionCtx(ctx, req.Network, cfg)
-	if err != nil {
-		writeComputeErr(w, budget, err)
+	compute := func(ctx context.Context) ([]byte, error) {
+		return s.computePartition(ctx, req.Network, cfg)
+	}
+	if s.cache == nil {
+		body, err := compute(ctx)
+		if err != nil {
+			s.writeComputeFailure(w, budget, err)
+			return
+		}
+		writeJSONBody(w, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, PartitionResponse{
+	body, cached, err := s.cache.GetOrCompute(ctx, resultcache.PartitionKey(req.Network, cfg), compute)
+	if err != nil {
+		s.writeComputeFailure(w, budget, err)
+		return
+	}
+	w.Header().Set(CacheHeader, cacheState(cached))
+	writeJSONBody(w, body)
+}
+
+// computePartition runs the full pipeline under an admission slot and
+// returns the serialized PartitionResponse — the exact bytes the cache
+// stores and every later hit replays.
+func (s *service) computePartition(ctx context.Context, net *roadnet.Network, cfg core.Config) ([]byte, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	t0 := time.Now()
+	res, err := core.PartitionCtx(ctx, net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(PartitionResponse{
 		Assign: res.Assign,
 		K:      res.K,
+		KPrime: res.KPrime,
 		Report: res.Report,
 		Timing: TimingJSON{
 			Module1Ms: ms(res.Timing.Module1),
@@ -285,13 +372,9 @@ func (s *service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ctx, cancel, budget := s.requestContext(r, req.TimeoutMs)
-	defer cancel()
-	p, err := core.NewPipelineCtx(ctx, req.Network, cfg)
-	if err != nil {
-		writeComputeErr(w, budget, err)
-		return
-	}
+	// The requested range is the cacheable identity; the supergraph
+	// clamp inside computeSweep is a deterministic function of the same
+	// inputs, so hashing the pre-clamp range is sound.
 	kMin, kMax := req.KMin, req.KMax
 	if kMin == 0 {
 		kMin = 2
@@ -299,23 +382,56 @@ func (s *service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if kMax == 0 {
 		kMax = 10
 	}
+	ctx, cancel, budget := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	compute := func(ctx context.Context) ([]byte, error) {
+		return s.computeSweep(ctx, &req, cfg, kMin, kMax)
+	}
+	if s.cache == nil {
+		body, err := compute(ctx)
+		if err != nil {
+			s.writeComputeFailure(w, budget, err)
+			return
+		}
+		writeJSONBody(w, body)
+		return
+	}
+	body, cached, err := s.cache.GetOrCompute(ctx, resultcache.SweepKey(req.Network, cfg, kMin, kMax), compute)
+	if err != nil {
+		s.writeComputeFailure(w, budget, err)
+		return
+	}
+	w.Header().Set(CacheHeader, cacheState(cached))
+	writeJSONBody(w, body)
+}
+
+// computeSweep runs modules 1–2 once and the k-sweep under an admission
+// slot, returning the serialized SweepResponse.
+func (s *service) computeSweep(ctx context.Context, req *SweepRequest, cfg core.Config, kMin, kMax int) ([]byte, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	p, err := core.NewPipelineCtx(ctx, req.Network, cfg)
+	if err != nil {
+		return nil, err
+	}
 	if p.SG != nil && kMax > len(p.SG.Nodes) {
 		kMax = len(p.SG.Nodes)
 	}
 	if kMax < kMin {
-		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("network supports no k in [%d,%d]", req.KMin, req.KMax))
-		return
+		return nil, fmt.Errorf("network supports no k in [%d,%d]", req.KMin, req.KMax)
 	}
 	best, sweep, err := p.BestKByANSCtx(ctx, kMin, kMax)
 	if err != nil {
-		writeComputeErr(w, budget, err)
-		return
+		return nil, err
 	}
 	resp := SweepResponse{BestK: best}
 	for _, pt := range sweep {
 		resp.Points = append(resp.Points, SweepPointJSON{K: pt.K, Report: pt.Result.Report})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return json.Marshal(resp)
 }
 
 func buildConfig(scheme string, seed uint64) (core.Config, error) {
@@ -335,11 +451,35 @@ func buildConfig(scheme string, seed uint64) (core.Config, error) {
 	return cfg, nil
 }
 
+// CacheHeader is the response header reporting how a compute endpoint
+// answered: "hit" (served from the result cache, including coalescing
+// onto another request's in-flight compute) or "miss" (computed here).
+// Absent when caching is disabled and on error responses.
+const CacheHeader = "X-Roadpart-Cache"
+
+// cacheState maps resultcache's cached flag to the header value.
+func cacheState(cached bool) string {
+	if cached {
+		return "hit"
+	}
+	return "miss"
+}
+
+// allow enforces the single method a route supports, answering anything
+// else with 405 and the Allow header RFC 9110 § 15.5.6 requires.
+func allow(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", method))
+	return false
+}
+
 // readJSON decodes the request body, writing the error response itself
 // and returning false on failure.
 func readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+	if !allow(w, r, http.MethodPost) {
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -355,6 +495,17 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONBody writes a pre-serialized 200 response. The framing —
+// body then '\n' — reproduces json.Encoder.Encode exactly (Encode is
+// Marshal plus a trailing newline), so a cached body is byte-identical
+// on the wire to the writeJSON output it replaced.
+func writeJSONBody(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+	_, _ = w.Write([]byte{'\n'})
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {

@@ -39,10 +39,15 @@ type Config struct {
 	KMax int
 	// SubKMax bounds the per-region split in distributed mode (each
 	// region may re-split into up to SubKMax parts, or stay whole when
-	// no split scores below KeepANS). 0 selects 4.
+	// no split scores below KeepANS). 0 selects 4; a bound below 2 is
+	// meaningless, so no sentinel exists.
 	SubKMax int
 	// KeepANS is the ANS threshold above which a region refuses to
-	// re-split (its best split has too little contrast). 0 selects 0.8.
+	// re-split (its best split has too little contrast). 0 selects 0.8;
+	// any negative value means "never re-split" — every region keeps its
+	// seed-frame shape, which a literal 0 cannot express because 0
+	// selects the default. (ANS is non-negative, so thresholds at or
+	// below 0 are all equivalent.)
 	KeepANS float64
 	// Seed drives all randomized stages.
 	Seed uint64

@@ -8,40 +8,62 @@ import (
 	"roadpart/internal/roadnet"
 )
 
-// FieldConfig tunes the closed-form density synthesizer.
+// FieldConfig tunes the closed-form density synthesizer. Because the
+// zero value of every field selects a default, the meaningful zeros
+// ("no hotspots", "no background", "no noise") are spelled as negative
+// values, mirroring SimConfig.WanderFrac's convention.
 type FieldConfig struct {
-	// Hotspots is the number of congestion centers. 0 selects 5.
+	// Hotspots is the number of congestion centers. 0 selects 5; any
+	// negative value means no hotspots at all (the field is Base plus
+	// noise everywhere).
 	Hotspots int
 	// Peak is the density at a hotspot core in vehicles/metre.
-	// 0 selects 0.12 (near jam).
+	// 0 selects 0.12 (near jam); negative means 0 (hotspots contribute
+	// nothing).
 	Peak float64
-	// Base is the uncongested background density. 0 selects 0.005.
+	// Base is the uncongested background density. 0 selects 0.005;
+	// negative means 0 (no background — density comes from hotspots
+	// alone).
 	Base float64
 	// SigmaFrac sets hotspot radius as a fraction of the city diagonal.
-	// 0 selects 0.12.
+	// 0 selects 0.12; the radius must be positive for the Gaussians to
+	// be defined, so no sentinel exists.
 	SigmaFrac float64
 	// Noise is the multiplicative jitter amplitude in [0,1). Road-level
-	// variation ensures no two segments are exactly alike. 0 selects 0.15.
+	// variation ensures no two segments are exactly alike. 0 selects
+	// 0.15; negative means 0 (a deterministic, smooth field).
 	Noise float64
 	// Seed drives hotspot placement and noise.
 	Seed uint64
 }
 
 func (c *FieldConfig) defaults() {
-	if c.Hotspots == 0 {
+	switch {
+	case c.Hotspots == 0:
 		c.Hotspots = 5
+	case c.Hotspots < 0:
+		c.Hotspots = 0
 	}
-	if c.Peak == 0 {
+	switch {
+	case c.Peak == 0:
 		c.Peak = 0.12
+	case c.Peak < 0:
+		c.Peak = 0
 	}
-	if c.Base == 0 {
+	switch {
+	case c.Base == 0:
 		c.Base = 0.005
+	case c.Base < 0:
+		c.Base = 0
 	}
 	if c.SigmaFrac == 0 {
 		c.SigmaFrac = 0.12
 	}
-	if c.Noise == 0 {
+	switch {
+	case c.Noise == 0:
 		c.Noise = 0.15
+	case c.Noise < 0:
+		c.Noise = 0
 	}
 }
 

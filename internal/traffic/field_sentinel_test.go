@@ -1,0 +1,80 @@
+package traffic
+
+import "testing"
+
+// The zero value of every FieldConfig field selects a default, so the
+// meaningful zeros are spelled as negatives. These tests pin that
+// convention.
+
+func TestFieldNegativeHotspotsIsFlat(t *testing.T) {
+	net := testCity(t)
+	snap, err := SyntheticField(net, FieldConfig{Hotspots: -1, Noise: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range snap {
+		if d != 0.005 { // default Base, no hotspots, no noise
+			t.Fatalf("segment %d: density %v, want flat default base 0.005", i, d)
+		}
+	}
+}
+
+func TestFieldNegativePeakLeavesOnlyBase(t *testing.T) {
+	net := testCity(t)
+	snap, err := SyntheticField(net, FieldConfig{Peak: -1, Noise: -1, Base: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range snap {
+		if d != 0.01 {
+			t.Fatalf("segment %d: density %v, want base 0.01 with zero-amplitude hotspots", i, d)
+		}
+	}
+}
+
+func TestFieldAllNegativeSentinelsYieldZeroField(t *testing.T) {
+	net := testCity(t)
+	snap, err := SyntheticField(net, FieldConfig{Hotspots: -1, Peak: -1, Base: -1, Noise: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range snap {
+		if d != 0 {
+			t.Fatalf("segment %d: density %v, want 0 everywhere", i, d)
+		}
+	}
+}
+
+func TestFieldNegativeNoiseIsDeterministicSmooth(t *testing.T) {
+	net := testCity(t)
+	a, err := SyntheticField(net, FieldConfig{Noise: -1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SyntheticField(net, FieldConfig{Noise: -1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With noise disabled the only seed-dependence left is hotspot
+	// placement; the field must still be well-formed and non-flat.
+	flat := true
+	for i := range a {
+		if a[i] != a[0] {
+			flat = false
+			break
+		}
+	}
+	if flat {
+		t.Fatal("hotspot field should not be flat")
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should still move hotspots")
+	}
+}

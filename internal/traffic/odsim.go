@@ -26,7 +26,9 @@ type ODConfig struct {
 	// RhoJam is the jam density in vehicles/metre. 0 selects 0.15.
 	RhoJam float64
 	// Hotspots is the number of popular destination intersections;
-	// trips end at a hotspot with HotspotBias probability. 0 selects 4.
+	// trips end at a hotspot with HotspotBias probability. 0 selects 4;
+	// to remove hotspot pull set HotspotBias negative rather than
+	// zeroing this.
 	Hotspots int
 	// HotspotBias is the probability a trip targets a hotspot rather
 	// than a uniform destination. 0 selects 0.6; negative disables.

@@ -26,14 +26,19 @@ type SimConfig struct {
 	Dt float64
 	// VMax is the free-flow speed in m/s. 0 selects 14 (~50 km/h).
 	VMax float64
-	// VMin is the crawl speed in m/s under full jam. 0 selects 1.
+	// VMin is the crawl speed in m/s under full jam. 0 selects 1; a
+	// literal zero is intentionally unreachable — it would freeze jammed
+	// vehicles forever and the simulation would never drain.
 	VMin float64
 	// RhoJam is the jam density in vehicles/metre. 0 selects 0.15
-	// (~one vehicle per 6.7 m of road).
+	// (~one vehicle per 6.7 m of road); a literal zero is intentionally
+	// unreachable — the speed-density relation divides by it.
 	RhoJam float64
 	// Hotspots is the number of attractor points pulling traffic.
 	// 0 selects 4. Hotspot gravity is what creates the spatially
-	// heterogeneous congestion the partitioners must discover.
+	// heterogeneous congestion the partitioners must discover; to ignore
+	// hotspots entirely set WanderFrac = 1 (the whole fleet wanders)
+	// rather than zeroing this.
 	Hotspots int
 	// WanderFrac is the fraction of the fleet that ignores hotspots and
 	// random-walks uniformly, providing the background traffic every road
