@@ -15,11 +15,11 @@ BENCH ?= .
 # thresholds it tolerates. Single-run 1x numbers are noisy, so the
 # defaults are deliberately loose; tighten them for interleaved runs on
 # a quiet machine.
-BENCH_CHECK ?= ^(BenchmarkFig7|BenchmarkTable3|BenchmarkPartitionCached)$$
+BENCH_CHECK ?= ^(BenchmarkFig7|BenchmarkTable3|BenchmarkPartitionCached|BenchmarkIncrementalDelta|BenchmarkIncrementalFullRecompute)$$
 BENCH_MAX_TIME ?= 0.50
 BENCH_MAX_BYTES ?= 0.25
 
-.PHONY: build vet test race bench bench-smoke bench-check fuzz-smoke docs-check verify
+.PHONY: build vet test race bench bench-smoke bench-check fuzz-smoke sse-smoke docs-check verify
 
 build:
 	$(GO) build ./...
@@ -83,6 +83,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadGeoJSON$$' -fuzztime $(FUZZTIME) ./internal/roadnet
 	$(GO) test -run '^$$' -fuzz '^FuzzReadDensitiesCSV$$' -fuzztime $(FUZZTIME) ./internal/roadnet
 
+# sse-smoke exercises the streaming daemon end to end under the race
+# detector: POST /v1/densities establishes a stream and steps it by a
+# sparse delta, and GET /v1/watch delivers the repartition events over
+# SSE (replay on connect plus a live event), then disconnects cleanly.
+sse-smoke:
+	$(GO) test -race -run '^(TestDensitiesStream|TestWatchStreamsEvents|TestWatchDisconnectReleasesSubscriber)$$' ./internal/server
+
 # docs-check fails on gofmt drift, vet findings, or broken relative
 # links in the repository's Markdown (see docs_link_test.go).
 docs-check:
@@ -91,4 +98,4 @@ docs-check:
 	$(GO) vet ./...
 	$(GO) test -run TestDocsLinks .
 
-verify: build vet test race fuzz-smoke bench-smoke bench-check docs-check
+verify: build vet test race fuzz-smoke bench-smoke bench-check sse-smoke docs-check

@@ -10,6 +10,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -326,6 +327,113 @@ func BenchmarkTemporalDistributed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := temporal.Run(net, snaps, at, temporal.ModeDistributed, temporal.Config{Scheme: core.ASG, Seed: 1}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// deltaTargetSegment picks the benchmark's delta target: a segment in
+// the region whose size is closest to the balanced share n/k. The
+// incremental engine's reuse grain is a region, so the measured speedup
+// depends on how big the dirty region is. The global partition of the
+// bench fixture is skewed (one region holds ~2/3 of the segments, three
+// are singletons), and neither extreme is representative: hitting the
+// giant re-splits most of the network, hitting a singleton does no
+// clustering at all. The region nearest the balanced share models the
+// typical localized congestion change the streaming API is for.
+func deltaTargetSegment(assign []int, k int) int {
+	sizes := map[int]int{}
+	for _, l := range assign {
+		sizes[l]++
+	}
+	share := len(assign) / k
+	target, bestGap := -1, math.MaxInt
+	for l, n := range sizes {
+		if n < 4 { // splitRegion keeps smaller regions whole without clustering
+			continue
+		}
+		gap := n - share
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap < bestGap || (gap == bestGap && l < target) {
+			target, bestGap = l, gap
+		}
+	}
+	for seg, l := range assign {
+		if l == target {
+			return seg
+		}
+	}
+	return 0
+}
+
+// BenchmarkIncrementalDelta measures the streaming hot path: advancing a
+// warm temporal.Tracker by a small sparse delta, which recomputes only
+// the region the delta touches. Compare against
+// BenchmarkIncrementalFullRecompute — the same step with incremental
+// reuse disabled — to see the speedup the drift-thresholded delta engine
+// buys (the acceptance bar is ≥5×). Delta values vary per iteration so
+// no step degenerates to the replay path.
+func BenchmarkIncrementalDelta(b *testing.B) {
+	net := benchNet(b)
+	d0 := net.Densities()
+	tr, err := temporal.NewTracker(net, temporal.ModeDistributed,
+		temporal.Config{Scheme: core.ASG, K: 6, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	seed, err := tr.Step(ctx, d0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seg := deltaTargetSegment(seed.Assign, seed.K)
+	// One throwaway delta populates every region cache (the first
+	// re-split after the seed frame recomputes all of them).
+	if _, err := tr.ApplyDelta(ctx, roadnet.DensityDelta{{Segment: seg, Density: d0[seg] + 1}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delta := roadnet.DensityDelta{{Segment: seg, Density: d0[seg] + 2 + float64(i%1024)/4096}}
+		fr, err := tr.ApplyDelta(ctx, delta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fr.Path != temporal.PathDelta {
+			b.Fatalf("step %d took path %q, want %q", i, fr.Path, temporal.PathDelta)
+		}
+	}
+}
+
+// BenchmarkIncrementalFullRecompute is BenchmarkIncrementalDelta's
+// baseline: the identical density step with incremental reuse disabled
+// (DriftThreshold < 0), so every iteration re-splits every region from
+// scratch — the legacy per-snapshot cost.
+func BenchmarkIncrementalFullRecompute(b *testing.B) {
+	net := benchNet(b)
+	d0 := net.Densities()
+	tr, err := temporal.NewTracker(net, temporal.ModeDistributed,
+		temporal.Config{Scheme: core.ASG, K: 6, Seed: 1, DriftThreshold: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	seed, err := tr.Step(ctx, d0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seg := deltaTargetSegment(seed.Assign, seed.K)
+	f := append([]float64(nil), d0...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f[seg] = d0[seg] + 2 + float64(i%1024)/4096
+		fr, err := tr.Step(ctx, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fr.Path != temporal.PathFull {
+			b.Fatalf("step %d took path %q, want %q", i, fr.Path, temporal.PathFull)
 		}
 	}
 }

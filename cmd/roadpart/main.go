@@ -12,6 +12,7 @@
 //	roadpart -preset M1 -autok -kmax 15
 //	roadpart -preset D1 -k 6 -timings   # per-stage breakdown (Table 3 layout)
 //	roadpart -preset D1 -k 6 -cache-dir /var/cache/roadpart   # reuse results
+//	roadpart -watch http://localhost:8080   # follow a daemon's repartition stream
 //
 // -cache-dir reads and writes roadpart-cache/v1 snapshot files — the same
 // artifacts roadpartd's -cache-dir uses — so a result computed by either
@@ -19,10 +20,13 @@
 package main
 
 import (
+	"bufio"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -55,8 +59,16 @@ func main() {
 		svgPath  = flag.String("svg", "", "write an SVG map of the partitions here")
 		geoPath  = flag.String("geojson", "", "write a GeoJSON FeatureCollection with partition properties here")
 		cacheDir = flag.String("cache-dir", "", "read/write roadpart-cache/v1 result snapshots here (shared with roadpartd -cache-dir)")
+		watchURL = flag.String("watch", "", "subscribe to a roadpartd density stream (e.g. http://localhost:8080) and print repartition events until interrupted; all partitioning flags are ignored")
 	)
 	flag.Parse()
+
+	if *watchURL != "" {
+		if err := watch(*watchURL); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	net, err := loadNetwork(*netPath, *densPath, *preset)
 	if err != nil {
@@ -321,6 +333,63 @@ func writeAssignment(path string, assign []int) error {
 		return err
 	}
 	return f.Close()
+}
+
+// watch subscribes to a roadpartd daemon's /v1/watch SSE feed and
+// prints one line per repartition event until the stream ends (daemon
+// shutdown) or the process is interrupted.
+func watch(base string) error {
+	url := strings.TrimRight(base, "/") + "/v1/watch"
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("watch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("watch: %s answered %s", url, resp.Status)
+	}
+	fmt.Printf("watching %s\n", url)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	var event string
+	var data strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, ":"):
+			// keep-alive comment
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data.WriteString(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if event == "repartition" && data.Len() > 0 {
+				printRepartition(data.String())
+			}
+			event = ""
+			data.Reset()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("watch: stream ended: %w", err)
+	}
+	return nil
+}
+
+// printRepartition renders one SSE event as a log line. The first frame
+// of a stream has no predecessor, so its ARI prints as a dash.
+func printRepartition(doc string) {
+	var ev server.RepartitionEvent
+	if err := json.Unmarshal([]byte(doc), &ev); err != nil {
+		fmt.Fprintf(os.Stderr, "watch: undecodable event: %v\n", err)
+		return
+	}
+	ari := "—"
+	if !math.IsNaN(ev.Frame.ARIvsPrev) {
+		ari = fmt.Sprintf("%.3f", ev.Frame.ARIvsPrev)
+	}
+	fmt.Printf("seq=%-4d snapshot=%-4d k=%-3d ans=%.4f ari=%s path=%-7s density=%s\n",
+		ev.Seq, ev.Frame.Snapshot, ev.Frame.K, ev.Frame.Report.ANS, ari, ev.Frame.Path, ev.Density)
 }
 
 func fatal(err error) {

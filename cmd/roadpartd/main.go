@@ -7,6 +7,13 @@
 //	POST /v1/partition  — {"network": {...}, "k": 6, "scheme": "ASG"}
 //	POST /v1/sweep      — {"network": {...}, "k_min": 2, "k_max": 12}
 //	POST /v1/render     — {"network": {...}, "assign": [...]} → SVG
+//	POST /v1/densities  — {"network": {...}, "densities": [...]} then
+//	                      {"updates": [{"segment": 17, "density": 0.4}]};
+//	                      each call advances the incremental repartitioning
+//	                      stream and returns the resulting frame
+//	GET  /v1/watch      — Server-Sent Events feed of the stream's
+//	                      repartition events (long-lived; raise or zero
+//	                      -write-timeout for watchers that must outlive it)
 //	GET  /v1/healthz
 //	GET  /v1/metrics    — Prometheus text exposition
 //	GET  /v1/stats      — JSON metrics snapshot + process info

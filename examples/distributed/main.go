@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"math"
 	"roadpart"
 	"time"
 )
@@ -54,10 +55,17 @@ func main() {
 		fmt.Printf("%6s %4s %8s %10s %12s\n", "t", "k", "ANS", "ARI", "elapsed")
 		var total time.Duration
 		for _, fr := range frames {
-			fmt.Printf("%6d %4d %8.4f %10.3f %12v\n",
-				fr.Snapshot, fr.K, fr.Report.ANS, fr.ARIvsPrev, fr.Elapsed.Round(time.Millisecond))
+			// The first frame has no predecessor: its ARI is undefined
+			// (NaN), not 1.0 — print a dash and keep it out of the mean.
+			ari := "         —"
+			if !math.IsNaN(fr.ARIvsPrev) {
+				ari = fmt.Sprintf("%10.3f", fr.ARIvsPrev)
+			}
+			fmt.Printf("%6d %4d %8.4f %s %12v\n",
+				fr.Snapshot, fr.K, fr.Report.ANS, ari, fr.Elapsed.Round(time.Millisecond))
 			total += fr.Elapsed
 		}
+		fmt.Printf("mean ARI vs previous frame: %.3f\n", roadpart.MeanARI(frames))
 		fmt.Printf("total partitioning time: %v\n\n", total.Round(time.Millisecond))
 	}
 

@@ -414,6 +414,12 @@ func (p *Pipeline) MaxK() int {
 	return p.G.N()
 }
 
+// Spectral exposes the pipeline's cached spectral partitioner, the hook
+// the temporal tracker uses to carry an eigenbasis across successive
+// pipelines: read WarmVector() from the finished pipeline, hand it to the
+// successor's SetWarmStart before partitioning.
+func (p *Pipeline) Spectral() *cut.Spectral { return p.spec }
+
 // SweepK partitions for every k in [kMin, kMax], reusing modules 1–2.
 // kMax is clamped to MaxK(), so callers can pass an ambitious upper bound
 // without knowing how condensed the mined supergraph came out.

@@ -199,7 +199,7 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, k int, method Method, opt
 // method's matrix. The rows live in eb, which the caller returns to the
 // pool once the embedding has been consumed.
 func embed(ctx context.Context, g *graph.Graph, k int, method Method, opts Options, eb *embedBuf) ([][]float64, error) {
-	dec, err := decompose(ctx, g, k, method, opts)
+	dec, err := decompose(ctx, g, k, method, opts, nil)
 	if err != nil {
 		return nil, err
 	}

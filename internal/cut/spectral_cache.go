@@ -53,6 +53,7 @@ type Spectral struct {
 	mu     sync.Mutex
 	dec    *eigen.Decomposition // nil until first use; len(Values) grows as needed
 	flight *specFlight          // in-progress decomposition, nil when idle
+	warm   []float64            // optional Lanczos start vector (SetWarmStart)
 }
 
 // specFlight is one in-progress decomposition. Waiters block on done;
@@ -118,6 +119,51 @@ func (s *Spectral) PartitionCtx(ctx context.Context, k int) (*Result, error) {
 	}
 	res.Assign, res.K = renumber(labels)
 	return res, nil
+}
+
+// SetWarmStart seeds the next eigendecomposition from v, the warm-start
+// hook of the incremental repartitioning path: a tracker that just solved
+// a nearly identical operator hands the previous Ritz subspace's
+// aggregate direction to the successor Spectral, and the Lanczos
+// iteration starts inside (near-)converged territory instead of from a
+// random vector. The vector is copied; a nil or wrong-length v (the
+// graph changed size — e.g. a re-mined supergraph) silently degrades to
+// the deterministic cold start, as does the dense path, which has no
+// iteration to seed. Warm starts trade bit-reproducibility on the
+// Lanczos path for convergence speed; callers that need byte-identical
+// replays simply never call this.
+func (s *Spectral) SetWarmStart(v []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(v) != s.g.N() {
+		s.warm = nil
+		return
+	}
+	s.warm = append(s.warm[:0], v...)
+}
+
+// WarmVector aggregates the cached decomposition's Ritz vectors into one
+// start direction for a successor solve (the sum of the eigenvectors —
+// a vector with components in every converged direction, which is what
+// a Lanczos warm start wants). It returns nil when nothing is cached.
+func (s *Spectral) WarmVector() []float64 {
+	s.mu.Lock()
+	dec := s.dec
+	s.mu.Unlock()
+	if dec == nil || len(dec.Values) == 0 {
+		return nil
+	}
+	cols := len(dec.Values)
+	v := make([]float64, dec.N)
+	for i := 0; i < dec.N; i++ {
+		for j := 0; j < cols; j++ {
+			v[i] += dec.Vectors[i*cols+j]
+		}
+	}
+	if linalg.Normalize(v) == 0 {
+		return nil
+	}
+	return v
 }
 
 // Warm ensures the cached decomposition holds at least k eigenpairs,
@@ -224,11 +270,12 @@ func (s *Spectral) decomposition(ctx context.Context, k int) (*eigen.Decompositi
 		}
 		f := &specFlight{want: want, done: make(chan struct{})}
 		s.flight = f
+		warm := s.warm
 		s.mu.Unlock()
 
 		specMisses.Inc()
 		sp := stageEigen.Start()
-		dec, err := decompose(ctx, s.g, want, s.method, s.opts)
+		dec, err := decompose(ctx, s.g, want, s.method, s.opts, warm)
 		sp.End()
 
 		s.mu.Lock()
@@ -252,7 +299,9 @@ func (s *Spectral) decomposition(ctx context.Context, k int) (*eigen.Decompositi
 }
 
 // decompose computes the k smallest eigenpairs of the method's matrix.
-func decompose(ctx context.Context, g *graph.Graph, k int, method Method, opts Options) (*eigen.Decomposition, error) {
+// start, when non-nil, warm-starts the Lanczos path (the dense path has
+// no iteration to seed and ignores it).
+func decompose(ctx context.Context, g *graph.Graph, k int, method Method, opts Options, start []float64) (*eigen.Decomposition, error) {
 	adj, err := g.AdjacencyCSR()
 	if err != nil {
 		return nil, err
@@ -289,5 +338,5 @@ func decompose(ctx context.Context, g *graph.Graph, k int, method Method, opts O
 			dense = o.Dense()
 		}
 	}
-	return eigen.SmallestK(ctx, op, dense, k, opts.Seed)
+	return eigen.SmallestKFrom(ctx, op, dense, k, opts.Seed, start)
 }

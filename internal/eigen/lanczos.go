@@ -47,6 +47,19 @@ type LanczosOptions struct {
 	// Seed drives the deterministic start vector. The same seed always
 	// yields the same decomposition.
 	Seed uint64
+	// Start, when its length equals the operator order, seeds the
+	// iteration from this vector (normalized) instead of the
+	// deterministic random start — the warm-start hook the temporal
+	// tracker uses to begin the Krylov recurrence inside the subspace a
+	// previous, slightly different operator converged to. A warm start
+	// also arms residual-based early termination under Tol: the
+	// iteration stops as soon as the k requested Ritz pairs are
+	// converged instead of always running MaxSteps. Both effects change
+	// which floating-point operations run, so warm-started results are
+	// numerically equivalent but not bit-identical to cold ones; leave
+	// Start nil (or mismatched) and the solver is byte-for-byte the
+	// classic deterministic iteration.
+	Start []float64
 }
 
 // Lanczos computes the k algebraically smallest eigenpairs of the symmetric
@@ -118,7 +131,16 @@ func LanczosWS(ctx context.Context, a Op, k int, opts LanczosOptions, ws *Worksp
 	alpha := ws.alpha[:0]
 	beta := ws.beta[:0] // beta[i] couples steps i and i+1
 
-	randUnitInto(&rng, ws.v)
+	warm := false
+	if len(opts.Start) == n {
+		copy(ws.v, opts.Start)
+		if linalg.Normalize(ws.v) > 0 {
+			warm = true
+		}
+	}
+	if !warm {
+		randUnitInto(&rng, ws.v)
+	}
 	steps := 0
 	for steps < m {
 		if err := ctx.Err(); err != nil {
@@ -150,6 +172,15 @@ func LanczosWS(ctx context.Context, a Op, k int, opts LanczosOptions, ws *Worksp
 		beta = append(beta, b)
 		for i := range ws.w {
 			ws.v[i] = ws.w[i] / b
+		}
+
+		// Warm starts arm residual-based early termination: once the k
+		// requested Ritz pairs are converged (|β_j · s_last| bounds each
+		// pair's residual) the remaining steps are pure overhead. Only
+		// the warm path checks, so a cold run executes exactly the
+		// historical operation sequence and stays bit-identical.
+		if warm && steps >= k+2 && steps%8 == 0 && ritzConverged(ws, alpha, beta, b, k, tol) {
+			break
 		}
 	}
 
@@ -194,8 +225,63 @@ func LanczosWS(ctx context.Context, a Op, k int, opts LanczosOptions, ws *Worksp
 	}
 	vals := make([]float64, k)
 	copy(vals, d[:k])
-	_ = tol // convergence is guaranteed by steps ≥ 4k+30 or full Krylov space
+	// On the cold path convergence is guaranteed by steps ≥ 4k+30 or a
+	// full Krylov space; the warm path may additionally have stopped
+	// early once ritzConverged certified the k pairs under tol.
 	return &Decomposition{N: n, Values: vals, Vectors: vec}, nil
+}
+
+// ritzConverged solves the current tridiagonal Ritz problem in the
+// workspace's scratch buffers and reports whether the k smallest Ritz
+// pairs all satisfy the classic Lanczos residual bound
+// ‖A·y − θ·y‖ = |β_j · s_{j,last}| ≤ tol · spectral scale. The scratch
+// (ws.d, ws.e, ws.z) is dead between Krylov steps — the final Ritz solve
+// after the loop rewrites it from alpha/beta — so the check allocates
+// nothing.
+func ritzConverged(ws *Workspace, alpha, beta []float64, betaLast float64, k int, tol float64) bool {
+	steps := len(alpha)
+	if k > steps {
+		return false
+	}
+	d := ws.d[:steps]
+	copy(d, alpha)
+	e := ws.e[:steps]
+	for i := range e {
+		e[i] = 0
+	}
+	copy(e, beta)
+	z := ws.z[:steps*steps]
+	for i := range z {
+		z[i] = 0
+	}
+	for i := 0; i < steps; i++ {
+		z[i*steps+i] = 1
+	}
+	if err := SymTridEigen(d, e, z, steps); err != nil {
+		return false
+	}
+	scale := 0.0
+	for _, v := range d {
+		if a := abs(v); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	for j := 0; j < k; j++ {
+		if abs(betaLast*z[(steps-1)*steps+j]) > tol*scale {
+			return false
+		}
+	}
+	return true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // SmallestK returns the k smallest eigenpairs of op, choosing between the
@@ -205,6 +291,16 @@ func LanczosWS(ctx context.Context, a Op, k int, opts LanczosOptions, ws *Worksp
 // path checks it before starting (one dense solve is the cancellation
 // grain — its O(n³) is bounded by the cutoff).
 func SmallestK(ctx context.Context, op Op, denseMat *linalg.Dense, k int, seed uint64) (*Decomposition, error) {
+	return SmallestKFrom(ctx, op, denseMat, k, seed, nil)
+}
+
+// SmallestKFrom is SmallestK with an optional warm-start vector for the
+// Lanczos path (see LanczosOptions.Start). The dense path is a direct
+// factorization with no iteration to seed, so start is ignored below the
+// cutoff — which keeps dense-sized solves bit-identical whether or not a
+// caller offers a warm start. A nil or wrong-length start degrades to the
+// deterministic cold start.
+func SmallestKFrom(ctx context.Context, op Op, denseMat *linalg.Dense, k int, seed uint64, start []float64) (*Decomposition, error) {
 	n := op.Dim()
 	const denseCutoff = 900
 	if denseMat != nil && n <= denseCutoff {
@@ -213,7 +309,7 @@ func SmallestK(ctx context.Context, op Op, denseMat *linalg.Dense, k int, seed u
 		}
 		return symEigenK(denseMat, k)
 	}
-	return Lanczos(ctx, op, k, LanczosOptions{Seed: seed})
+	return Lanczos(ctx, op, k, LanczosOptions{Seed: seed, Start: start})
 }
 
 // identity returns a new n×n row-major identity matrix.

@@ -1,0 +1,100 @@
+package eigen
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"roadpart/internal/linalg"
+)
+
+// TestLanczosWarmStartMatchesCold: a warm-started iteration must converge
+// to the same eigenvalues (and residual quality) as the cold one — the
+// start vector steers which operations run, never which subspace is
+// correct.
+func TestLanczosWarmStartMatchesCold(t *testing.T) {
+	a := randomSym(60, 11)
+	op := DenseOp{a}
+	k := 4
+	cold, err := Lanczos(context.Background(), op, k, LanczosOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-start from the sum of the converged eigenvectors — the shape
+	// the temporal tracker seeds successor solves with.
+	start := make([]float64, 60)
+	for j := 0; j < k; j++ {
+		linalg.Axpy(1, cold.Vector(j), start)
+	}
+	warm, err := Lanczos(context.Background(), op, k, LanczosOptions{Seed: 3, Start: start})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDecomposition(t, a, warm, 1e-7)
+	for j := 0; j < k; j++ {
+		if d := math.Abs(warm.Values[j] - cold.Values[j]); d > 1e-7 {
+			t.Fatalf("eigenvalue %d: warm %v vs cold %v (Δ=%g)", j, warm.Values[j], cold.Values[j], d)
+		}
+	}
+}
+
+// TestLanczosMismatchedStartIsCold: a wrong-length (or nil) Start must
+// leave the solver byte-for-byte on the deterministic cold path.
+func TestLanczosMismatchedStartIsCold(t *testing.T) {
+	a := randomSym(40, 5)
+	op := DenseOp{a}
+	cold, err := Lanczos(context.Background(), op, 3, LanczosOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := Lanczos(context.Background(), op, 3, LanczosOptions{Seed: 9, Start: make([]float64, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := Lanczos(context.Background(), op, 3, LanczosOptions{Seed: 9, Start: make([]float64, 40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range cold.Values {
+		if cold.Values[j] != short.Values[j] || cold.Values[j] != zero.Values[j] {
+			t.Fatalf("degraded warm starts are not bit-identical to cold: %v vs %v vs %v",
+				cold.Values, short.Values, zero.Values)
+		}
+	}
+	for i := range cold.Vectors {
+		if cold.Vectors[i] != short.Vectors[i] || cold.Vectors[i] != zero.Vectors[i] {
+			t.Fatal("degraded warm starts produced different eigenvectors")
+		}
+	}
+}
+
+// TestSmallestKFromDenseIgnoresStart: below the dense cutoff the direct
+// factorization runs regardless of the start vector, so warm-started and
+// cold calls are bit-identical — the property that keeps the default
+// temporal goldens stable even with warm starts enabled.
+func TestSmallestKFromDenseIgnoresStart(t *testing.T) {
+	a := randomSym(30, 21)
+	op := DenseOp{a}
+	start := make([]float64, 30)
+	for i := range start {
+		start[i] = float64(i + 1)
+	}
+	plain, err := SmallestK(context.Background(), op, a, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := SmallestKFrom(context.Background(), op, a, 3, 1, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range plain.Values {
+		if plain.Values[j] != seeded.Values[j] {
+			t.Fatal("dense path consulted the start vector")
+		}
+	}
+	for i := range plain.Vectors {
+		if plain.Vectors[i] != seeded.Vectors[i] {
+			t.Fatal("dense path consulted the start vector")
+		}
+	}
+}

@@ -17,6 +17,27 @@ const (
 	OpSweep     = "sweep"
 )
 
+// Tag fingerprints the (structure, density) generation a cached result
+// was computed from. Unlike the Key — which addresses content and can
+// never serve a stale body — the tag groups every entry derived from
+// one network state so the streaming layer can drop the whole group in
+// one InvalidateTag call when a density update supersedes that state.
+// Zero is reserved to mean "untagged"; the fold can never produce it.
+func Tag(structure, density uint64) uint64 {
+	h := newHasher()
+	h.u64(structure)
+	h.u64(density)
+	if s := h.sum64(); s != 0 {
+		return s
+	}
+	return 1
+}
+
+// NetworkTag is the Tag of a network's current structure and densities.
+func NetworkTag(net *roadnet.Network) uint64 {
+	return Tag(net.StructureHash(), net.DensityHash())
+}
+
 // hasher is a convenience wrapper around FNV-64a for mixed-type input.
 type hasher struct {
 	h   hash.Hash64

@@ -50,10 +50,10 @@ func (k Key) String() string { return fmt.Sprintf("%s-%016x", k.Op, k.Sum) }
 
 // Metric families. The events counter follows the pool-tally convention:
 // one family, (op, result) labels, result ∈ hit | miss | coalesced |
-// evict | reject | store_error | warm.
+// evict | reject | store_error | warm | invalidate.
 const (
 	EventsFamily = "roadpart_resultcache_events_total"
-	eventsHelp   = "Result-cache lookups and maintenance events, by operation and result (hit = served from memory, miss = computed, coalesced = waited on an identical in-flight compute, evict = LRU eviction, reject = body larger than the budget, store_error = best-effort disk persistence failed, warm = loaded from the snapshot store at startup)."
+	eventsHelp   = "Result-cache lookups and maintenance events, by operation and result (hit = served from memory, miss = computed, coalesced = waited on an identical in-flight compute, evict = LRU eviction, reject = body larger than the budget, store_error = best-effort disk persistence failed, warm = loaded from the snapshot store at startup, invalidate = dropped because its fingerprint tag was superseded by a density update)."
 	bytesHelp    = "Bytes of cached response bodies currently resident."
 	entriesHelp  = "Cached results currently resident."
 )
@@ -96,10 +96,13 @@ type flight struct {
 	err  error
 }
 
-// entry is one resident result.
+// entry is one resident result. tag groups entries by the
+// (structure, density) generation they were computed from; 0 = untagged
+// (CLI Puts and store-warmed entries), which only ages out via LRU.
 type entry struct {
 	key  Key
 	body []byte
+	tag  uint64
 	elem *list.Element
 }
 
@@ -113,6 +116,7 @@ type Cache struct {
 	lru     *list.List // front = most recent; values are *entry
 	bytes   int64
 	flights map[Key]*flight
+	tags    map[uint64]map[Key]*entry // secondary index; 0 is never a key
 }
 
 // New constructs a Cache under cfg. It panics on a non-positive
@@ -128,6 +132,7 @@ func New(cfg Config) (*Cache, error) {
 		entries: make(map[Key]*entry),
 		lru:     list.New(),
 		flights: make(map[Key]*flight),
+		tags:    make(map[uint64]map[Key]*entry),
 	}
 	if cfg.Dir != "" {
 		st, err := OpenStore(cfg.Dir)
@@ -155,7 +160,7 @@ func (c *Cache) warm() {
 		if _, ok := c.entries[e.Key]; ok {
 			continue
 		}
-		if c.insertLocked(e.Key, e.Body) {
+		if c.insertLocked(e.Key, e.Body, 0) {
 			event(e.Key.Op, "warm")
 		}
 	}
@@ -177,7 +182,7 @@ func (c *Cache) Get(key Key) ([]byte, bool) {
 // callers that computed outside the cache — the CLI snapshot path.
 func (c *Cache) Put(key Key, body []byte) {
 	c.mu.Lock()
-	inserted := c.insertLocked(key, body)
+	inserted := c.insertLocked(key, body, 0)
 	c.mu.Unlock()
 	if inserted {
 		c.persist(key, body)
@@ -210,6 +215,13 @@ func (c *Cache) Bytes() int64 {
 // one promotes a fresh flight. Non-context errors propagate to all
 // current waiters but are not cached, so the next request retries.
 func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func(context.Context) ([]byte, error)) (body []byte, cached bool, err error) {
+	return c.GetOrComputeTagged(ctx, key, 0, compute)
+}
+
+// GetOrComputeTagged is GetOrCompute with a fingerprint tag (see Tag):
+// a successfully computed body is indexed under tag so a later
+// InvalidateTag(tag) drops it in O(group). Tag 0 means untagged.
+func (c *Cache) GetOrComputeTagged(ctx context.Context, key Key, tag uint64, compute func(context.Context) ([]byte, error)) (body []byte, cached bool, err error) {
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, false, fmt.Errorf("resultcache: %s lookup not started: %w", key.Op, err)
@@ -248,7 +260,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func(context.
 
 		c.mu.Lock()
 		delete(c.flights, key)
-		inserted := f.err == nil && c.insertLocked(key, f.body)
+		inserted := f.err == nil && c.insertLocked(key, f.body, tag)
 		c.mu.Unlock()
 		close(f.done)
 		if f.err != nil {
@@ -266,7 +278,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func(context.
 // budget holds. It reports whether the body was actually inserted — a
 // body larger than the whole budget is rejected (and counted) rather
 // than evicting everything for nothing. Callers hold the lock.
-func (c *Cache) insertLocked(key Key, body []byte) bool {
+func (c *Cache) insertLocked(key Key, body []byte, tag uint64) bool {
 	cost := int64(len(body)) + entryOverhead
 	if cost > c.cfg.MaxBytes {
 		event(key.Op, "reject")
@@ -282,25 +294,72 @@ func (c *Cache) insertLocked(key Key, body []byte) bool {
 		if oldest == nil {
 			break
 		}
-		c.removeLocked(oldest.Value.(*entry))
+		c.removeLocked(oldest.Value.(*entry), "evict")
 	}
-	e := &entry{key: key, body: body}
+	e := &entry{key: key, body: body, tag: tag}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
+	if tag != 0 {
+		group := c.tags[tag]
+		if group == nil {
+			group = make(map[Key]*entry)
+			c.tags[tag] = group
+		}
+		group[key] = e
+	}
 	c.bytes += cost
 	cacheBytes.Set(float64(c.bytes))
 	cacheEntries.Set(float64(c.lru.Len()))
 	return true
 }
 
-// removeLocked evicts one entry. Callers hold the lock.
-func (c *Cache) removeLocked(e *entry) {
+// removeLocked drops one entry, counting it under result. Callers hold
+// the lock.
+func (c *Cache) removeLocked(e *entry, result string) {
 	c.lru.Remove(e.elem)
 	delete(c.entries, e.key)
+	if e.tag != 0 {
+		if group := c.tags[e.tag]; group != nil {
+			delete(group, e.key)
+			if len(group) == 0 {
+				delete(c.tags, e.tag)
+			}
+		}
+	}
 	c.bytes -= int64(len(e.body)) + entryOverhead
 	cacheBytes.Set(float64(c.bytes))
 	cacheEntries.Set(float64(c.lru.Len()))
-	event(e.key.Op, "evict")
+	event(e.key.Op, result)
+}
+
+// InvalidateTag drops every resident entry carrying tag and, when a
+// snapshot store is attached, best-effort removes their snapshot files.
+// It returns the number of entries dropped. The streaming layer calls
+// this when a density update supersedes the network state the tag
+// fingerprints; content-addressed keys mean the dropped entries could
+// never have served a wrong answer, but without invalidation a daemon
+// cycling through density states would pin dead generations in the LRU
+// budget until they aged out.
+func (c *Cache) InvalidateTag(tag uint64) int {
+	if tag == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	group := c.tags[tag]
+	dropped := make([]Key, 0, len(group))
+	for key, e := range group {
+		c.removeLocked(e, "invalidate")
+		dropped = append(dropped, key)
+	}
+	c.mu.Unlock()
+	if c.store != nil {
+		for _, key := range dropped {
+			if err := c.store.Remove(key); err != nil {
+				event(key.Op, "store_error")
+			}
+		}
+	}
+	return len(dropped)
 }
 
 // persist writes one entry to the snapshot store, best-effort.

@@ -91,6 +91,16 @@ func (s *Store) Write(key Key, body []byte) error {
 	return nil
 }
 
+// Remove deletes the snapshot stored under key. A snapshot that does
+// not exist is not an error — invalidation races harmlessly with
+// eviction and with caches running without persistence for that entry.
+func (s *Store) Remove(key Key) error {
+	if err := os.Remove(s.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("resultcache: removing snapshot %s: %w", key, err)
+	}
+	return nil
+}
+
 // Read loads the body stored under key. The boolean reports whether a
 // valid snapshot exists; schema or key mismatches read as absent-with-
 // error so callers can distinguish "cold" from "corrupt".

@@ -1,0 +1,73 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// DensityUpdate changes one segment's traffic density. It is the unit of
+// the streaming delta path: a congestion sensor reports a new density for
+// one road segment, and the partitioner decides how much work that
+// observation is worth.
+type DensityUpdate struct {
+	// Segment indexes into the network's segment slice.
+	Segment int `json:"segment"`
+	// Density is the new density in vehicles per metre.
+	Density float64 `json:"density"`
+}
+
+// DensityDelta is a sparse batch of density updates applied atomically to
+// one network. Order matters only when the same segment appears twice —
+// the last write wins, exactly as if the updates were applied one by one.
+type DensityDelta []DensityUpdate
+
+// Validate checks every update against a network with nSegments segments,
+// naming the offending field in the error so a server boundary can reject
+// a bad delta with a precise 400 instead of surfacing a late failure from
+// deep in the pipeline.
+func (d DensityDelta) Validate(nSegments int) error {
+	if len(d) == 0 {
+		return fmt.Errorf("roadnet: empty density delta")
+	}
+	for i, u := range d {
+		if u.Segment < 0 || u.Segment >= nSegments {
+			return fmt.Errorf("roadnet: updates[%d].segment = %d outside %d segments", i, u.Segment, nSegments)
+		}
+		if u.Density < 0 || math.IsNaN(u.Density) || math.IsInf(u.Density, 0) {
+			return fmt.Errorf("roadnet: updates[%d].density = %v is not a finite non-negative density", i, u.Density)
+		}
+	}
+	return nil
+}
+
+// Apply writes the delta into net and returns the previous density of
+// each updated segment (aligned with d), which is exactly what a caller
+// needs to maintain the incremental DensityHash and to measure drift.
+// The delta is validated first; on error the network is untouched.
+func (d DensityDelta) Apply(net *Network) ([]float64, error) {
+	if err := d.Validate(len(net.Segments)); err != nil {
+		return nil, err
+	}
+	old := make([]float64, len(d))
+	for i, u := range d {
+		old[i] = net.Segments[u.Segment].Density
+		net.Segments[u.Segment].Density = u.Density
+	}
+	return old, nil
+}
+
+// Segments returns the distinct segment indices the delta touches, in
+// first-appearance order — the set of dual-graph nodes whose features
+// changed, which the temporal tracker maps onto affected regions.
+func (d DensityDelta) Segments() []int {
+	seen := make(map[int]struct{}, len(d))
+	out := make([]int, 0, len(d))
+	for _, u := range d {
+		if _, ok := seen[u.Segment]; ok {
+			continue
+		}
+		seen[u.Segment] = struct{}{}
+		out = append(out, u.Segment)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package roadnet
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func deltaNet() *Network {
+	return &Network{
+		Intersections: []Intersection{{ID: 0}, {ID: 1, X: 100}, {ID: 2, X: 200}},
+		Segments: []Segment{
+			{ID: 0, From: 0, To: 1, Length: 100, Density: 0.10},
+			{ID: 1, From: 1, To: 2, Length: 100, Density: 0.20},
+			{ID: 2, From: 2, To: 0, Length: 150, Density: 0.30},
+		},
+	}
+}
+
+func TestDensityDeltaValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		delta DensityDelta
+		field string // substring the error must carry; empty = valid
+	}{
+		{"valid", DensityDelta{{Segment: 1, Density: 0.5}}, ""},
+		{"empty", DensityDelta{}, "empty"},
+		{"negative segment", DensityDelta{{Segment: -1, Density: 0.5}}, "updates[0].segment"},
+		{"segment out of range", DensityDelta{{Segment: 0, Density: 1}, {Segment: 3, Density: 1}}, "updates[1].segment"},
+		{"negative density", DensityDelta{{Segment: 0, Density: -0.1}}, "updates[0].density"},
+		{"NaN density", DensityDelta{{Segment: 0, Density: math.NaN()}}, "updates[0].density"},
+		{"Inf density", DensityDelta{{Segment: 0, Density: math.Inf(1)}}, "updates[0].density"},
+	}
+	for _, tc := range cases {
+		err := tc.delta.Validate(3)
+		if tc.field == "" {
+			if err != nil {
+				t.Fatalf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("%s: expected error naming %q", tc.name, tc.field)
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Fatalf("%s: error %q does not name %q", tc.name, err, tc.field)
+		}
+	}
+}
+
+func TestDensityDeltaApply(t *testing.T) {
+	net := deltaNet()
+	old, err := DensityDelta{{Segment: 0, Density: 0.7}, {Segment: 2, Density: 0.9}}.Apply(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old[0] != 0.10 || old[1] != 0.30 {
+		t.Fatalf("old densities = %v, want [0.10 0.30]", old)
+	}
+	if net.Segments[0].Density != 0.7 || net.Segments[1].Density != 0.20 || net.Segments[2].Density != 0.9 {
+		t.Fatalf("post-apply densities = %v", net.Densities())
+	}
+	// An invalid delta must leave the network untouched.
+	before := net.Densities()
+	if _, err := (DensityDelta{{Segment: 1, Density: 1}, {Segment: 9, Density: 1}}).Apply(net); err == nil {
+		t.Fatal("out-of-range delta applied")
+	}
+	for i, d := range net.Densities() {
+		if d != before[i] {
+			t.Fatalf("failed Apply mutated segment %d", i)
+		}
+	}
+}
+
+func TestDensityDeltaLastWriteWins(t *testing.T) {
+	net := deltaNet()
+	if _, err := (DensityDelta{{Segment: 1, Density: 0.4}, {Segment: 1, Density: 0.6}}).Apply(net); err != nil {
+		t.Fatal(err)
+	}
+	if net.Segments[1].Density != 0.6 {
+		t.Fatalf("density = %v, want the last write 0.6", net.Segments[1].Density)
+	}
+}
+
+func TestDensityDeltaSegments(t *testing.T) {
+	d := DensityDelta{{Segment: 2}, {Segment: 0}, {Segment: 2}, {Segment: 1}}
+	got := d.Segments()
+	want := []int{2, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("segments = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segments = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestUpdateDensityHashExact pins the tentpole property: maintaining the
+// fingerprint through UpdateDensityHash per update is bit-identical to
+// rehashing the whole vector from scratch.
+func TestUpdateDensityHashExact(t *testing.T) {
+	net := deltaNet()
+	h := net.DensityHash()
+	delta := DensityDelta{{Segment: 0, Density: 0.55}, {Segment: 2, Density: 0}, {Segment: 0, Density: 0.05}}
+	old, err := delta.Apply(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range delta {
+		h = UpdateDensityHash(h, u.Segment, old[i], u.Density)
+	}
+	if full := net.DensityHash(); h != full {
+		t.Fatalf("incremental hash %016x != full rehash %016x", h, full)
+	}
+}
+
+func TestUpdateDensityHashRoundTrip(t *testing.T) {
+	net := deltaNet()
+	h0 := net.DensityHash()
+	h1 := UpdateDensityHash(h0, 1, 0.20, 0.95)
+	if h1 == h0 {
+		t.Fatal("update did not move the hash")
+	}
+	if back := UpdateDensityHash(h1, 1, 0.95, 0.20); back != h0 {
+		t.Fatalf("reverting the update gives %016x, want %016x", back, h0)
+	}
+}
+
+// TestDensityHashPositionSensitive ensures the commutative-sum form still
+// distinguishes vectors that are permutations of each other.
+func TestDensityHashPositionSensitive(t *testing.T) {
+	a, b := deltaNet(), deltaNet()
+	b.Segments[0].Density, b.Segments[1].Density = b.Segments[1].Density, b.Segments[0].Density
+	if a.DensityHash() == b.DensityHash() {
+		t.Fatal("swapping two densities did not move the hash")
+	}
+}

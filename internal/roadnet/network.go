@@ -118,21 +118,65 @@ func (n *Network) StructureHash() uint64 {
 	return h.Sum64()
 }
 
-// DensityHash returns a canonical FNV-64a fingerprint of the per-segment
-// density vector (the feature values v.f). Hashing the IEEE-754 bits
-// keeps the fingerprint exact: any density change — however small —
-// yields a different hash, which is what content-addressed result
-// caching requires.
+// densityHashSeed anchors the density fingerprint so an empty vector does
+// not hash to zero and vectors of different lengths never collide on the
+// per-term sum alone.
+const densityHashSeed = 0x9e3779b97f4a7c15
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche bijection on
+// 64-bit words.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// densityTerm is the fingerprint contribution of one (segment, density)
+// pair. Position and value are folded together before the avalanche, so
+// swapping two segments' densities moves the hash even though terms are
+// summed commutatively.
+func densityTerm(segment int, bits uint64) uint64 {
+	return mix64(uint64(segment+1)*0x9e3779b97f4a7c15 ^ bits)
+}
+
+// DensityHash returns a canonical fingerprint of the per-segment density
+// vector (the feature values v.f). Hashing the IEEE-754 bits keeps the
+// fingerprint exact: any density change — however small — yields a
+// different hash, which is what content-addressed result caching requires.
+//
+// Unlike StructureHash (a sequential FNV over immutable geometry), the
+// density fingerprint is a sum of per-segment mixed terms, so a sparse
+// update can maintain it in O(changed segments) through UpdateDensityHash
+// instead of rehashing the whole vector — the property the streaming
+// delta path depends on.
 func (n *Network) DensityHash() uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(len(n.Segments)))
-	_, _ = h.Write(buf[:])
-	for _, s := range n.Segments {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s.Density))
-		_, _ = h.Write(buf[:])
+	h := mix64(densityHashSeed ^ uint64(len(n.Segments)))
+	for i, s := range n.Segments {
+		h += densityTerm(i, math.Float64bits(s.Density))
 	}
-	return h.Sum64()
+	return h
+}
+
+// DensityVectorHash returns the fingerprint a network carrying exactly
+// these per-segment densities would report from DensityHash, so callers
+// that track a bare density vector (the temporal tracker, the streaming
+// server) stay fingerprint-compatible with network-level hashing.
+func DensityVectorHash(d []float64) uint64 {
+	h := mix64(densityHashSeed ^ uint64(len(d)))
+	for i, v := range d {
+		h += densityTerm(i, math.Float64bits(v))
+	}
+	return h
+}
+
+// UpdateDensityHash returns the density fingerprint after segment's
+// density changes from old to new, given the fingerprint h before the
+// change. It is exact, not approximate: applying it per update yields
+// bit-identically the DensityHash of the updated vector.
+func UpdateDensityHash(h uint64, segment int, old, new float64) uint64 {
+	return h - densityTerm(segment, math.Float64bits(old)) + densityTerm(segment, math.Float64bits(new))
 }
 
 // SegmentMidpoint returns the planar midpoint of segment i, used by

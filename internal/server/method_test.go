@@ -20,6 +20,8 @@ func TestMethodEnforcementAllRoutes(t *testing.T) {
 		{"/v1/partition", http.MethodPost},
 		{"/v1/sweep", http.MethodPost},
 		{"/v1/render", http.MethodPost},
+		{"/v1/densities", http.MethodPost},
+		{"/v1/watch", http.MethodGet},
 		{"/v1/metrics", http.MethodGet},
 		{"/v1/stats", http.MethodGet},
 	}
@@ -60,7 +62,7 @@ func TestSupportedMethodPassesGate(t *testing.T) {
 			t.Errorf("GET %s = %d, want 200", path, rec.Code)
 		}
 	}
-	for _, path := range []string{"/v1/partition", "/v1/sweep", "/v1/render"} {
+	for _, path := range []string{"/v1/partition", "/v1/sweep", "/v1/render", "/v1/densities"} {
 		rec := httptest.NewRecorder()
 		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, nil))
 		if rec.Code != http.StatusBadRequest {

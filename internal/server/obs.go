@@ -20,6 +20,8 @@ var trackedPaths = map[string]bool{
 	"/v1/partition": true,
 	"/v1/sweep":     true,
 	"/v1/render":    true,
+	"/v1/densities": true,
+	"/v1/watch":     true,
 	"/v1/metrics":   true,
 	"/v1/stats":     true,
 }
@@ -67,6 +69,10 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	}
 	return w.ResponseWriter.Write(b)
 }
+
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach its Flusher — the SSE endpoint streams through this middleware.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 func (w *statusWriter) status() int {
 	if w.code == 0 {

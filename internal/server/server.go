@@ -6,12 +6,16 @@
 //	POST /v1/partition  — partition a network at a fixed k
 //	POST /v1/sweep      — sweep k and report per-k quality (+ the ANS pick)
 //	POST /v1/render     — render a network (and optional assignment) as SVG
+//	POST /v1/densities  — advance the density stream (full vector or delta)
+//	GET  /v1/watch      — SSE feed of the stream's repartition events
 //	GET  /v1/healthz    — liveness
 //	GET  /v1/metrics    — Prometheus text exposition (stage timers, counters)
 //	GET  /v1/stats      — JSON metrics snapshot + process info
 //
 // Requests carry the network inline (the roadnet JSON schema). The
-// service holds no per-client state; every request is independent. All
+// stateless endpoints hold no per-client state; the density stream
+// (stream.go) is the deliberate exception — it keeps a temporal.Tracker
+// alive across calls so sparse updates repartition incrementally. All
 // requests flow through an instrumentation middleware that records
 // per-endpoint latency and status-code counters into the internal/obs
 // registry, then a panic-recovery net; each compute request runs under a
@@ -163,6 +167,8 @@ type service struct {
 	slots  chan struct{}      // in-flight tokens; nil when admission is off
 	queued atomic.Int64       // requests waiting for a slot
 	cache  *resultcache.Cache // nil when caching is off
+	stream stream             // the density stream (daemon mode)
+	hub    *watchHub          // /v1/watch fan-out
 }
 
 // New returns the service's HTTP handler with default configuration.
@@ -189,7 +195,7 @@ func NewChecked(cfg Config) (http.Handler, error) {
 }
 
 func newService(cfg Config) (*service, error) {
-	s := &service{cfg: cfg}
+	s := &service{cfg: cfg, hub: newWatchHub()}
 	if cfg.MaxInFlight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInFlight)
 	}
@@ -214,6 +220,8 @@ func (s *service) handler() http.Handler {
 	mux.HandleFunc("/v1/partition", s.handlePartition)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
 	mux.HandleFunc("/v1/render", handleRender)
+	mux.HandleFunc("/v1/densities", s.handleDensities)
+	mux.HandleFunc("/v1/watch", s.handleWatch)
 	mux.HandleFunc("/v1/metrics", handleMetrics)
 	mux.HandleFunc("/v1/stats", handleStats)
 	return instrument(recoverPanics(mux))
@@ -315,7 +323,10 @@ func (s *service) handlePartition(w http.ResponseWriter, r *http.Request) {
 		writeJSONBody(w, body)
 		return
 	}
-	body, cached, err := s.cache.GetOrCompute(ctx, resultcache.PartitionKey(req.Network, cfg), compute)
+	// Tagging by (structure, density) fingerprints lets a density-stream
+	// update invalidate exactly the entries its step made stale.
+	body, cached, err := s.cache.GetOrComputeTagged(ctx,
+		resultcache.PartitionKey(req.Network, cfg), resultcache.NetworkTag(req.Network), compute)
 	if err != nil {
 		s.writeComputeFailure(w, budget, err)
 		return
@@ -396,7 +407,8 @@ func (s *service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeJSONBody(w, body)
 		return
 	}
-	body, cached, err := s.cache.GetOrCompute(ctx, resultcache.SweepKey(req.Network, cfg, kMin, kMax), compute)
+	body, cached, err := s.cache.GetOrComputeTagged(ctx,
+		resultcache.SweepKey(req.Network, cfg, kMin, kMax), resultcache.NetworkTag(req.Network), compute)
 	if err != nil {
 		s.writeComputeFailure(w, budget, err)
 		return

@@ -3,10 +3,24 @@
 // Section 6.4: partition the whole network once, then re-partition each
 // resulting region independently as congestion evolves — cheap enough for
 // real time once regions are M1-sized or smaller.
+//
+// Two entry shapes exist. Run/RunCtx replay a recorded snapshot sequence
+// (the paper's offline protocol). Tracker is the streaming form: it owns
+// the long-lived state — dual graph, seed partition, per-region
+// subgraphs and their last split, density fingerprints, the previous
+// eigenbasis — and advances one snapshot or one sparse density delta at
+// a time, recomputing only what the observed drift requires. The two are
+// bit-identical: a Tracker fed the same densities produces exactly the
+// frames a from-scratch run does, because region reuse is permitted only
+// when a region's inputs are byte-identical to the run that produced the
+// cached split.
 package temporal
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"math"
 	"time"
 
 	"roadpart/internal/core"
@@ -49,6 +63,26 @@ type Config struct {
 	// selects the default. (ANS is non-negative, so thresholds at or
 	// below 0 are all equivalent.)
 	KeepANS float64
+	// DriftThreshold is the fraction of segments whose densities may
+	// change between consecutive tracker steps before the incremental
+	// path stops trusting its caches and recomputes everything. 0
+	// selects 0.25; any negative value disables incremental reuse
+	// entirely — every step recomputes from scratch, the legacy
+	// per-snapshot behavior (a literal 0 cannot express this because 0
+	// selects the default); values >= 1 never fall back. The threshold
+	// trades work, not correctness: reuse is permitted only when a
+	// region's inputs are byte-identical to the run that cached them, so
+	// every setting produces bit-identical frames.
+	DriftThreshold float64
+	// WarmStart seeds each global re-partition's eigensolve from the
+	// previous frame's converged eigenbasis (cut.Spectral.SetWarmStart).
+	// On the iterative Lanczos path this trades bit-reproducibility for
+	// convergence speed — warm-started frames are numerically
+	// equivalent, not byte-identical, to cold ones — so it is opt-in
+	// and excluded from the bit-identity goldens. Networks small enough
+	// for the dense eigensolver (the default experiment scales) ignore
+	// it entirely.
+	WarmStart bool
 	// Seed drives all randomized stages.
 	Seed uint64
 }
@@ -63,7 +97,21 @@ func (c *Config) defaults() {
 	if c.KeepANS == 0 {
 		c.KeepANS = 0.8
 	}
+	if c.DriftThreshold == 0 {
+		c.DriftThreshold = 0.25
+	}
 }
+
+// Compute paths a tracker step can take, reported in Frame.Path and the
+// roadpart_incremental_steps_total counter.
+const (
+	// PathFull recomputed every stage from scratch.
+	PathFull = "full"
+	// PathDelta recomputed only the regions the density delta touched.
+	PathDelta = "delta"
+	// PathReused replayed cached state because nothing changed.
+	PathReused = "reused"
+)
 
 // Frame is the partitioning state at one timestamp.
 type Frame struct {
@@ -75,17 +123,85 @@ type Frame struct {
 	K int
 	// Report carries the quality metrics under this frame's densities.
 	Report metrics.Report
-	// ARIvsPrev measures agreement with the previous frame's partition
-	// (1 on the first frame).
+	// ARIvsPrev measures agreement with the previous frame's partition.
+	// The first frame has no predecessor, so the value is NaN there (and
+	// omitted from the JSON encoding) — averaging a window of frames
+	// must skip it rather than count a fictitious perfect agreement.
 	ARIvsPrev float64
+	// Path records which compute path produced this frame (PathFull,
+	// PathDelta or PathReused) — diagnostic only; it never affects the
+	// partition.
+	Path string
 	// Elapsed is the wall-clock cost of producing this frame.
 	Elapsed time.Duration
 }
 
+// frameJSON is Frame's wire shape. ARIvsPrev is a pointer so the first
+// frame's NaN is omitted instead of poisoning the document (encoding/json
+// cannot represent NaN).
+type frameJSON struct {
+	Snapshot  int            `json:"snapshot"`
+	Assign    []int          `json:"assign"`
+	K         int            `json:"k"`
+	Report    metrics.Report `json:"report"`
+	ARIvsPrev *float64       `json:"ari_vs_prev,omitempty"`
+	Path      string         `json:"path,omitempty"`
+	ElapsedMs float64        `json:"elapsed_ms"`
+}
+
+// MarshalJSON encodes the frame with ari_vs_prev omitted when it is NaN
+// (the first frame of a run).
+func (f Frame) MarshalJSON() ([]byte, error) {
+	doc := frameJSON{
+		Snapshot:  f.Snapshot,
+		Assign:    f.Assign,
+		K:         f.K,
+		Report:    f.Report,
+		Path:      f.Path,
+		ElapsedMs: float64(f.Elapsed.Microseconds()) / 1000,
+	}
+	if !math.IsNaN(f.ARIvsPrev) {
+		ari := f.ARIvsPrev
+		doc.ARIvsPrev = &ari
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON is MarshalJSON's inverse: an absent ari_vs_prev decodes
+// back to NaN, so frames round-trip through the wire shape (the SSE
+// watch client depends on this).
+func (f *Frame) UnmarshalJSON(data []byte) error {
+	var doc frameJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	f.Snapshot = doc.Snapshot
+	f.Assign = doc.Assign
+	f.K = doc.K
+	f.Report = doc.Report
+	if doc.ARIvsPrev != nil {
+		f.ARIvsPrev = *doc.ARIvsPrev
+	} else {
+		f.ARIvsPrev = math.NaN()
+	}
+	f.Path = doc.Path
+	f.Elapsed = time.Duration(doc.ElapsedMs * float64(time.Millisecond))
+	return nil
+}
+
 // Run re-partitions net for each of the selected snapshot indices and
-// returns one frame per index, in order.
+// returns one frame per index, in order. It is RunCtx without
+// cancellation, kept for callers with no context to thread.
 func Run(net *roadnet.Network, snaps []traffic.Snapshot, at []int, mode Mode, cfg Config) ([]Frame, error) {
-	cfg.defaults()
+	return RunCtx(context.Background(), net, snaps, at, mode, cfg)
+}
+
+// RunCtx re-partitions net for each of the selected snapshot indices
+// under ctx: every pipeline stage of every frame observes the context
+// between bounded work items (the PR 3 contract), so a multi-snapshot
+// run can be cancelled or deadline-bounded mid-stream. An uncancelled
+// call is bit-identical to Run.
+func RunCtx(ctx context.Context, net *roadnet.Network, snaps []traffic.Snapshot, at []int, mode Mode, cfg Config) ([]Frame, error) {
 	if len(at) == 0 {
 		return nil, fmt.Errorf("temporal: no snapshot indices")
 	}
@@ -94,61 +210,32 @@ func Run(net *roadnet.Network, snaps []traffic.Snapshot, at []int, mode Mode, cf
 			return nil, fmt.Errorf("temporal: snapshot index %d outside %d snapshots", t, len(snaps))
 		}
 	}
-	g, err := roadnet.DualGraph(net)
+	tr, err := NewTracker(net, mode, cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	var frames []Frame
-	var prev, seedAssign []int
-	for i, t := range at {
-		f := []float64(snaps[t])
-		t0 := time.Now()
-		var assign []int
-		if mode == ModeDistributed && i > 0 {
-			// Re-partition the seed frame's regions, not the previous
-			// refinement — otherwise splits compound round over round.
-			assign, err = repartitionRegions(g, f, seedAssign, cfg)
-		} else {
-			assign, err = partitionGlobal(g, f, cfg)
-			if i == 0 {
-				seedAssign = assign
-			}
-		}
+	frames := make([]Frame, 0, len(at))
+	for _, t := range at {
+		fr, err := tr.StepAt(ctx, snaps[t], t)
 		if err != nil {
 			return nil, fmt.Errorf("temporal: snapshot %d: %w", t, err)
 		}
-		elapsed := time.Since(t0)
-
-		rep, err := metrics.Evaluate(f, assign, g)
-		if err != nil {
-			return nil, err
-		}
-		ari := 1.0
-		if prev != nil {
-			if ari, err = metrics.ARI(prev, assign); err != nil {
-				return nil, err
-			}
-		}
-		frames = append(frames, Frame{
-			Snapshot:  t,
-			Assign:    assign,
-			K:         rep.K,
-			Report:    rep,
-			ARIvsPrev: ari,
-			Elapsed:   elapsed,
-		})
-		prev = assign
+		frames = append(frames, fr)
 	}
 	return frames, nil
 }
 
 // partitionGlobal partitions the whole graph, selecting k automatically
-// when cfg.K is zero.
-func partitionGlobal(g *graph.Graph, f []float64, cfg Config) ([]int, error) {
-	p, err := core.NewPipelineFromGraph(g, f, core.Config{Scheme: cfg.Scheme, Seed: cfg.Seed})
+// when cfg.K is zero. warm, when non-nil, seeds the eigensolve from a
+// previous frame's basis; the returned warm vector (nil unless
+// cfg.WarmStart) carries this frame's basis to the next call.
+func partitionGlobal(ctx context.Context, g *graph.Graph, f []float64, cfg Config, warm []float64) ([]int, []float64, error) {
+	p, err := core.NewPipelineFromGraphCtx(ctx, g, f, core.Config{Scheme: cfg.Scheme, Seed: cfg.Seed})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if warm != nil {
+		p.Spectral().SetWarmStart(warm)
 	}
 	k := cfg.K
 	max := cap_(p, cfg.KMax)
@@ -156,26 +243,34 @@ func partitionGlobal(g *graph.Graph, f []float64, cfg Config) ([]int, error) {
 		if max < 2 {
 			k = 1
 		} else {
-			best, _, err := p.BestKByANS(2, max)
+			best, _, err := p.BestKByANSCtx(ctx, 2, max)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			k = best
 		}
 	} else if k > max {
 		k = max
 	}
-	res, err := p.PartitionK(k)
+	res, err := p.PartitionKCtx(ctx, k)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return res.Assign, nil
+	var nextWarm []float64
+	if cfg.WarmStart {
+		nextWarm = p.Spectral().WarmVector()
+	}
+	return res.Assign, nextWarm, nil
 }
 
 // repartitionRegions re-partitions every region of the previous frame
 // independently under the new densities and stitches the results into a
-// global labeling — the distributed regime.
-func repartitionRegions(g *graph.Graph, f []float64, prev []int, cfg Config) ([]int, error) {
+// global labeling — the distributed regime, one-shot form. The Tracker's
+// cache-aware resplit produces bit-identical output; this function is
+// the from-scratch path (DriftThreshold < 0) and the reference the
+// goldens compare against. ctx is observed between regions — one
+// region's split is the cancellation grain.
+func repartitionRegions(ctx context.Context, g *graph.Graph, f []float64, prev []int, cfg Config) ([]int, error) {
 	regions := map[int][]int{}
 	for v, l := range prev {
 		regions[l] = append(regions[l], v)
@@ -183,6 +278,9 @@ func repartitionRegions(g *graph.Graph, f []float64, prev []int, cfg Config) ([]
 	out := make([]int, len(prev))
 	next := 0
 	for l := 0; l < len(regions); l++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("temporal: re-split interrupted at region %d of %d: %w", l, len(regions), err)
+		}
 		members := regions[l]
 		sub, orig, err := g.Induced(members)
 		if err != nil {
@@ -192,7 +290,7 @@ func repartitionRegions(g *graph.Graph, f []float64, prev []int, cfg Config) ([]
 		for i, v := range orig {
 			subF[i] = f[v]
 		}
-		local, err := splitRegion(sub, subF, cfg)
+		local, err := splitRegion(ctx, sub, subF, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -210,11 +308,11 @@ func repartitionRegions(g *graph.Graph, f []float64, prev []int, cfg Config) ([]
 
 // splitRegion partitions one region's subgraph into up to SubKMax parts,
 // keeping it whole when the best split's ANS exceeds KeepANS.
-func splitRegion(sub *graph.Graph, f []float64, cfg Config) ([]int, error) {
+func splitRegion(ctx context.Context, sub *graph.Graph, f []float64, cfg Config) ([]int, error) {
 	if sub.N() < 4 {
 		return make([]int, sub.N()), nil
 	}
-	p, err := core.NewPipelineFromGraph(sub, f, core.Config{Scheme: cfg.Scheme, Seed: cfg.Seed})
+	p, err := core.NewPipelineFromGraphCtx(ctx, sub, f, core.Config{Scheme: cfg.Scheme, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +320,7 @@ func splitRegion(sub *graph.Graph, f []float64, cfg Config) ([]int, error) {
 	if max < 2 {
 		return make([]int, sub.N()), nil
 	}
-	best, sweep, err := p.BestKByANS(2, max)
+	best, sweep, err := p.BestKByANSCtx(ctx, 2, max)
 	if err != nil {
 		return nil, err
 	}
@@ -270,6 +368,25 @@ func RegionSeries(frames []Frame, snaps []traffic.Snapshot, ref int) ([][]float6
 		}
 	}
 	return series, nil
+}
+
+// MeanARI averages the frame-to-frame agreement of a run, skipping the
+// first frame's NaN (it has no predecessor — counting it as perfect
+// agreement would bias every average toward stability). It returns NaN
+// when no frame carries a defined ARI.
+func MeanARI(frames []Frame) float64 {
+	sum, n := 0.0, 0
+	for _, fr := range frames {
+		if math.IsNaN(fr.ARIvsPrev) {
+			continue
+		}
+		sum += fr.ARIvsPrev
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
 }
 
 // cap_ clamps a requested k to what the pipeline supports (supernode

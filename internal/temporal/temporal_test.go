@@ -1,6 +1,7 @@
 package temporal
 
 import (
+	"math"
 	"testing"
 
 	"roadpart/internal/core"
@@ -49,12 +50,12 @@ func TestRunGlobalMode(t *testing.T) {
 		if fr.K < 1 {
 			t.Fatalf("frame %d has K=%d", i, fr.K)
 		}
-		if fr.ARIvsPrev < -0.5 || fr.ARIvsPrev > 1.000001 {
+		if i > 0 && (fr.ARIvsPrev < -0.5 || fr.ARIvsPrev > 1.000001) {
 			t.Fatalf("frame %d ARI out of range: %v", i, fr.ARIvsPrev)
 		}
 	}
-	if frames[0].ARIvsPrev != 1 {
-		t.Fatal("first frame should have ARI 1 by convention")
+	if !math.IsNaN(frames[0].ARIvsPrev) {
+		t.Fatalf("first frame has no predecessor: ARI must be NaN, got %v", frames[0].ARIvsPrev)
 	}
 }
 

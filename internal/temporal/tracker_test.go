@@ -1,0 +1,350 @@
+package temporal
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"roadpart/internal/core"
+	"roadpart/internal/experiments"
+	"roadpart/internal/roadnet"
+	"roadpart/internal/traffic"
+)
+
+// hashFrames fingerprints the deterministic content of a frame sequence —
+// snapshot index, assignment, K and the quality report — with FNV-64a.
+// Path and Elapsed are excluded: the compute route and wall clock are
+// diagnostics, not results.
+func hashFrames(frames []Frame) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	for _, fr := range frames {
+		put(uint64(fr.Snapshot))
+		put(uint64(fr.K))
+		put(uint64(len(fr.Assign)))
+		for _, a := range fr.Assign {
+			put(uint64(a))
+		}
+		put(uint64(fr.Report.K))
+		put(math.Float64bits(fr.Report.Inter))
+		put(math.Float64bits(fr.Report.Intra))
+		put(math.Float64bits(fr.Report.GDBI))
+		put(math.Float64bits(fr.Report.ANS))
+		if math.IsNaN(fr.ARIvsPrev) {
+			put(^uint64(0))
+		} else {
+			put(math.Float64bits(fr.ARIvsPrev))
+		}
+	}
+	return h.Sum64()
+}
+
+// withDelta returns a copy of f with the delta applied.
+func withDelta(f []float64, d roadnet.DensityDelta) []float64 {
+	out := append([]float64(nil), f...)
+	for _, u := range d {
+		out[u.Segment] = u.Density
+	}
+	return out
+}
+
+// trackerGoldens pins the tentpole guarantee: a tracker advancing through
+// snapshots and sparse deltas produces bit-identical frames to a
+// from-scratch run (DriftThreshold < 0 disables every cache) over the
+// same density sequence, for D1 and M1 under AG and ASG and across drift
+// thresholds. The literal hashes also pin today's output against silent
+// drift in any upstream stage.
+var trackerGoldens = map[string]uint64{
+	"D1/AG":  0x381cd8e1051af064,
+	"D1/ASG": 0xe8521b32579e9394,
+	"M1/AG":  0xca6e73d009b9c052,
+	"M1/ASG": 0x31e29c7fc56fccac,
+}
+
+func TestTrackerBitIdenticalToFromScratch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-pipeline golden comparison")
+	}
+	for _, tc := range []struct {
+		dataset string
+		scheme  core.Scheme
+		name    string
+	}{
+		{"D1", core.AG, "D1/AG"},
+		{"D1", core.ASG, "D1/ASG"},
+		{"M1", core.AG, "M1/AG"},
+		{"M1", core.ASG, "M1/ASG"},
+	} {
+		t.Run(strings.ReplaceAll(tc.name, "/", "_"), func(t *testing.T) {
+			ds, err := experiments.BuildDataset(tc.dataset, experiments.ScaleSmall)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snaps, err := traffic.Simulate(ds.Net, traffic.SimConfig{
+				Vehicles: 400, Steps: 120, RecordEvery: 40, Hotspots: 3, Seed: 17,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := len(ds.Net.Segments)
+			// A small delta (3 segments — the incremental sweet spot), then a
+			// whole fresh snapshot (typically past the drift threshold), then
+			// another small delta.
+			d1 := roadnet.DensityDelta{
+				{Segment: 0, Density: 0.42},
+				{Segment: n / 2, Density: 0.07},
+				{Segment: n - 1, Density: 0.33},
+			}
+			d2 := roadnet.DensityDelta{{Segment: n / 3, Density: 0.91}}
+			seq := [][]float64{
+				snaps[0],
+				withDelta(snaps[0], d1),
+				snaps[1],
+				withDelta(snaps[1], d2),
+			}
+			cfg := Config{Scheme: tc.scheme, K: 5, Seed: 7}
+			ctx := context.Background()
+
+			// From-scratch reference: caches disabled entirely.
+			refCfg := cfg
+			refCfg.DriftThreshold = -1
+			ref, err := NewTracker(ds.Net, ModeDistributed, refCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var refFrames []Frame
+			for _, f := range seq {
+				fr, err := ref.Step(ctx, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fr.Path != PathFull {
+					t.Fatalf("from-scratch tracker took path %q", fr.Path)
+				}
+				refFrames = append(refFrames, fr)
+			}
+			refHash := hashFrames(refFrames)
+
+			// Incremental trackers at several thresholds, fed the same
+			// densities as snapshots + sparse deltas.
+			for _, threshold := range []float64{0.25, 0.02, 1.5} {
+				incCfg := cfg
+				incCfg.DriftThreshold = threshold
+				tr, err := NewTracker(ds.Net, ModeDistributed, incCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var frames []Frame
+				step := func(fr Frame, err error) {
+					t.Helper()
+					if err != nil {
+						t.Fatal(err)
+					}
+					frames = append(frames, fr)
+				}
+				step(tr.Step(ctx, seq[0]))
+				step(tr.ApplyDelta(ctx, d1))
+				step(tr.StepAt(ctx, seq[2], 2))
+				step(tr.ApplyDelta(ctx, d2))
+				// StepAt labeled frame 2 explicitly; ApplyDelta frames carry
+				// the sequence number, which matches here by construction.
+				if got := hashFrames(frames); got != refHash {
+					t.Fatalf("threshold %v: incremental frames %016x != from-scratch %016x",
+						threshold, got, refHash)
+				}
+				if threshold >= 1 {
+					// Frame 1 is the first re-split, so every region cache is
+					// cold and it honestly reports a full recompute; frame 3
+					// must have taken the incremental path for the comparison
+					// to mean anything.
+					if frames[3].Path != PathDelta {
+						t.Fatalf("threshold %v: delta step took path %q, want %q",
+							threshold, frames[3].Path, PathDelta)
+					}
+				}
+			}
+
+			want, ok := trackerGoldens[tc.name]
+			if !ok {
+				t.Fatalf("no golden for %s", tc.name)
+			}
+			if refHash != want {
+				t.Fatalf("golden %s = %#016x, want %#016x", tc.name, refHash, want)
+			}
+		})
+	}
+}
+
+// TestRunMatchesRunCtx pins the legacy-delegation contract: Run must be
+// bit-identical to RunCtx with a background context.
+func TestRunMatchesRunCtx(t *testing.T) {
+	net, snaps := simCity(t)
+	cfg := Config{Scheme: core.ASG, Seed: 4}
+	legacy, err := Run(net, snaps, []int{2, 6}, ModeDistributed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := RunCtx(context.Background(), net, snaps, []int{2, 6}, ModeDistributed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hashFrames(legacy) != hashFrames(ctxed) {
+		t.Fatal("Run and RunCtx diverge")
+	}
+}
+
+// TestRunCtxCancelMidStream: a cancellation between frames must stop the
+// run with a context-wrapped error and leak no goroutines.
+func TestRunCtxCancelMidStream(t *testing.T) {
+	net, snaps := simCity(t)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	tr, err := NewTracker(net, ModeDistributed, Config{Scheme: core.ASG, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Step(ctx, snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := tr.Step(ctx, snaps[1]); err == nil {
+		t.Fatal("step with cancelled context succeeded")
+	} else if !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("error %v does not wrap cancellation", err)
+	}
+	// The tracker must remain usable under a live context.
+	if _, err := tr.Step(context.Background(), snaps[1]); err != nil {
+		t.Fatalf("tracker poisoned by cancelled step: %v", err)
+	}
+	// Goroutine-leak check with settling time for worker teardown.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before+2 || time.Now().After(deadline) {
+			if g > before+2 {
+				t.Fatalf("goroutines grew from %d to %d after cancellation", before, g)
+			}
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestRunCtxPreCancelled: an already-dead context must fail before any
+// pipeline work.
+func TestRunCtxPreCancelled(t *testing.T) {
+	net, snaps := simCity(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, net, snaps, []int{0, 1}, ModeGlobal, Config{Scheme: core.AG, K: 3, Seed: 1}); err == nil {
+		t.Fatal("pre-cancelled RunCtx succeeded")
+	}
+}
+
+func TestTrackerReusedPath(t *testing.T) {
+	net, snaps := simCity(t)
+	tr, err := NewTracker(net, ModeDistributed, Config{Scheme: core.ASG, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := tr.Step(ctx, snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	first, err := tr.Step(ctx, snaps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := tr.Step(ctx, snaps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Path != PathReused {
+		t.Fatalf("unchanged densities took path %q, want %q", replay.Path, PathReused)
+	}
+	for i := range first.Assign {
+		if replay.Assign[i] != first.Assign[i] {
+			t.Fatal("replayed frame differs from its original")
+		}
+	}
+	if replay.ARIvsPrev != 1 {
+		t.Fatalf("replayed frame ARI = %v, want 1", replay.ARIvsPrev)
+	}
+	if replay.Report != first.Report {
+		t.Fatal("replayed frame report differs")
+	}
+}
+
+func TestTrackerDeltaValidation(t *testing.T) {
+	net, snaps := simCity(t)
+	tr, err := NewTracker(net, ModeDistributed, Config{Scheme: core.ASG, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := tr.ApplyDelta(ctx, roadnet.DensityDelta{{Segment: 0, Density: 1}}); err == nil {
+		t.Fatal("delta before any snapshot accepted")
+	}
+	if _, err := tr.Step(ctx, snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ApplyDelta(ctx, roadnet.DensityDelta{{Segment: len(net.Segments), Density: 1}}); err == nil {
+		t.Fatal("out-of-range delta accepted")
+	}
+	if _, err := tr.Step(ctx, make([]float64, 3)); err == nil {
+		t.Fatal("wrong-length density vector accepted")
+	}
+	// Fingerprints stay incrementally exact across a valid delta.
+	if _, err := tr.ApplyDelta(ctx, roadnet.DensityDelta{{Segment: 1, Density: 0.77}}); err != nil {
+		t.Fatal(err)
+	}
+	_, dens := tr.Fingerprints()
+	want := roadnet.DensityVectorHash(withDelta(snaps[0], roadnet.DensityDelta{{Segment: 1, Density: 0.77}}))
+	if dens != want {
+		t.Fatalf("incremental density fingerprint %016x != full rehash %016x", dens, want)
+	}
+}
+
+func TestFrameJSONOmitsNaNARI(t *testing.T) {
+	first := Frame{Snapshot: 0, Assign: []int{0, 1}, K: 2, ARIvsPrev: math.NaN(), Path: PathFull}
+	doc, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(doc), "ari_vs_prev") {
+		t.Fatalf("NaN ARI serialized: %s", doc)
+	}
+	later := first
+	later.ARIvsPrev = 0.5
+	doc, err = json.Marshal(later)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(doc), `"ari_vs_prev":0.5`) {
+		t.Fatalf("defined ARI missing: %s", doc)
+	}
+}
+
+func TestMeanARISkipsFirstFrame(t *testing.T) {
+	frames := []Frame{
+		{ARIvsPrev: math.NaN()},
+		{ARIvsPrev: 0.8},
+		{ARIvsPrev: 0.6},
+	}
+	if got := MeanARI(frames); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("MeanARI = %v, want 0.7 (NaN first frame skipped)", got)
+	}
+	if !math.IsNaN(MeanARI(frames[:1])) {
+		t.Fatal("MeanARI of only-NaN frames should be NaN")
+	}
+}

@@ -103,6 +103,16 @@ type (
 	TemporalMode = temporal.Mode
 	// Frame is the partitioning state at one timestamp.
 	Frame = temporal.Frame
+	// Tracker owns the long-lived state of an incremental
+	// re-partitioning stream: feed it full density vectors (Step) or
+	// sparse deltas (ApplyDelta) and it recomputes only what the
+	// observed drift requires, bit-identical to partitioning from
+	// scratch.
+	Tracker = temporal.Tracker
+	// DensityUpdate is one sparse density change (segment, new density).
+	DensityUpdate = roadnet.DensityUpdate
+	// DensityDelta is an ordered list of sparse density changes.
+	DensityDelta = roadnet.DensityDelta
 )
 
 // Temporal modes.
@@ -245,9 +255,29 @@ func AverageDensities(snaps []Snapshot, window int) (Snapshot, error) {
 
 // Repartition re-partitions the network at the selected snapshot indices,
 // globally or distributively (Section 6.4), returning one frame per index.
+// The first frame's ARIvsPrev is NaN (it has no predecessor); average
+// frame stability with MeanARI, which skips it.
 func Repartition(net *Network, snaps []Snapshot, at []int, mode TemporalMode, cfg TemporalConfig) ([]Frame, error) {
 	return temporal.Run(net, snaps, at, mode, cfg)
 }
+
+// RepartitionCtx is Repartition with cooperative cancellation: the run
+// stops between pipeline stages and between region re-splits when ctx
+// ends, returning the context's error.
+func RepartitionCtx(ctx context.Context, net *Network, snaps []Snapshot, at []int, mode TemporalMode, cfg TemporalConfig) ([]Frame, error) {
+	return temporal.RunCtx(ctx, net, snaps, at, mode, cfg)
+}
+
+// NewTracker prepares an incremental re-partitioning stream over net
+// (see Tracker). Densities arrive per step, so net's current densities
+// are not consulted until the first Step or ApplyDelta.
+func NewTracker(net *Network, mode TemporalMode, cfg TemporalConfig) (*Tracker, error) {
+	return temporal.NewTracker(net, mode, cfg)
+}
+
+// MeanARI averages ARIvsPrev over frames, skipping undefined entries
+// (the first frame). It returns NaN when no frame has a defined ARI.
+func MeanARI(frames []Frame) float64 { return temporal.MeanARI(frames) }
 
 // LoadNetwork reads a network from a JSON file.
 func LoadNetwork(path string) (*Network, error) { return roadnet.LoadJSON(path) }
