@@ -15,11 +15,21 @@ BENCH ?= .
 # thresholds it tolerates. Single-run 1x numbers are noisy, so the
 # defaults are deliberately loose; tighten them for interleaved runs on
 # a quiet machine.
-BENCH_CHECK ?= ^(BenchmarkFig7|BenchmarkTable3|BenchmarkPartitionCached|BenchmarkIncrementalDelta|BenchmarkIncrementalFullRecompute)$$
+BENCH_CHECK ?= ^(BenchmarkFig7|BenchmarkTable3|BenchmarkSweepDeep|BenchmarkPartitionCached|BenchmarkIncrementalDelta|BenchmarkIncrementalFullRecompute)$$
 BENCH_MAX_TIME ?= 0.50
 BENCH_MAX_BYTES ?= 0.25
+# The sweep-aware spectral core's performance gates. BENCH_TABLE3_GATE is
+# a *negative* time threshold against the pre-spectral-core anchor
+# (BENCH_TABLE3_ANCHOR): the diff fails unless BenchmarkTable3 is at
+# least 40% faster than it recorded. BENCH_SWEEP_RATIO is the intra-run
+# warm-vs-cold invariant on BenchmarkSweepDeep: the cold per-k sweep
+# must be at least this many times slower than the shared warm-widened
+# sweep (see docs/PERFORMANCE.md and docs/NUMERICS.md § Warm starts).
+BENCH_TABLE3_ANCHOR ?= BENCH_4.json
+BENCH_TABLE3_GATE ?= -0.40
+BENCH_SWEEP_RATIO ?= 1.5
 
-.PHONY: build vet test race bench bench-smoke bench-check fuzz-smoke sse-smoke docs-check verify
+.PHONY: build vet test race bench bench-smoke bench-check fuzz-smoke sse-smoke docs-check numerics-check verify
 
 build:
 	$(GO) build ./...
@@ -71,7 +81,15 @@ bench-check:
 	$(GO) run ./cmd/benchdiff -snapshot -o "$$tmp/new.json" "$$tmp/bench.txt" && \
 	echo "bench-check: comparing against $$latest" && \
 	$(GO) run ./cmd/benchdiff -max-time-regress $(BENCH_MAX_TIME) -max-bytes-regress $(BENCH_MAX_BYTES) \
-		"$$latest" "$$tmp/new.json"
+		"$$latest" "$$tmp/new.json" && \
+	echo "bench-check: Table 3 gate vs $(BENCH_TABLE3_ANCHOR) (>= 40% faster)" && \
+	$(GO) run ./cmd/benchdiff -only '^BenchmarkTable3$$' \
+		-max-time-regress $(BENCH_TABLE3_GATE) -max-bytes-regress 10 \
+		"$(BENCH_TABLE3_ANCHOR)" "$$tmp/new.json" && \
+	echo "bench-check: SweepDeep warm-vs-cold ratio (>= $(BENCH_SWEEP_RATIO)x)" && \
+	$(GO) run ./cmd/benchdiff \
+		-min-ratio 'BenchmarkSweepDeep/cold,BenchmarkSweepDeep/warm,$(BENCH_SWEEP_RATIO)' \
+		"$$tmp/new.json"
 
 # fuzz-smoke runs each roadnet fuzz target for FUZZTIME (default 10s).
 # Go allows one -fuzz target per invocation, so the targets run in
@@ -90,6 +108,14 @@ fuzz-smoke:
 sse-smoke:
 	$(GO) test -race -run '^(TestDensitiesStream|TestWatchStreamsEvents|TestWatchDisconnectReleasesSubscriber)$$' ./internal/server
 
+# numerics-check pins docs/NUMERICS.md's golden-hash table of record to
+# the hashes actually asserted by the test suite: the table in the doc
+# and the map in internal/core/ctx_test.go must agree bit for bit, so
+# neither can drift without the other (and the doc's re-pinning policy)
+# being updated in the same change.
+numerics-check:
+	$(GO) test -run '^TestNumericsGoldenTable$$' .
+
 # docs-check fails on gofmt drift, vet findings, or broken relative
 # links in the repository's Markdown (see docs_link_test.go).
 docs-check:
@@ -98,4 +124,4 @@ docs-check:
 	$(GO) vet ./...
 	$(GO) test -run TestDocsLinks .
 
-verify: build vet test race fuzz-smoke bench-smoke bench-check sse-smoke docs-check
+verify: build vet test race fuzz-smoke bench-smoke bench-check sse-smoke docs-check numerics-check

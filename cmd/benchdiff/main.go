@@ -13,7 +13,13 @@
 //	benchdiff -max-time-regress 0.02 -max-bytes-regress -0.30 BENCH_1.json BENCH_2.json
 //
 // A negative threshold demands an improvement: -0.30 fails unless the
-// metric dropped by at least 30%.
+// metric dropped by at least 30%. -only restricts the diff to matching
+// benchmark names (for targeted gates such as the Table 3 speedup check),
+// and -min-ratio asserts an intra-snapshot invariant — that one benchmark
+// is at least R times slower than another — against the new snapshot:
+//
+//	benchdiff -only '^BenchmarkTable3$' -max-time-regress -0.40 BENCH_4.json BENCH_5.json
+//	benchdiff -min-ratio 'BenchmarkSweepDeep/cold,BenchmarkSweepDeep/warm,1.5' BENCH_5.json
 package main
 
 import (
@@ -151,9 +157,60 @@ type diffRow struct {
 	failed               []string
 }
 
+// ratioSpec is one parsed -min-ratio assertion: NsPerOp(slow) must be at
+// least Ratio times NsPerOp(fast) in the snapshot under check.
+type ratioSpec struct {
+	Slow, Fast string
+	Ratio      float64
+}
+
+// parseRatio parses a -min-ratio value of the form "SlowName,FastName,R".
+func parseRatio(s string) (ratioSpec, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return ratioSpec{}, fmt.Errorf("-min-ratio %q: want slow,fast,ratio", s)
+	}
+	r, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil || r <= 0 {
+		return ratioSpec{}, fmt.Errorf("-min-ratio %q: bad ratio %q", s, parts[2])
+	}
+	return ratioSpec{Slow: strings.TrimSpace(parts[0]), Fast: strings.TrimSpace(parts[1]), Ratio: r}, nil
+}
+
+// checkRatio verifies one ratio assertion against a snapshot: the Slow
+// benchmark's ns/op must be >= Ratio × the Fast benchmark's ns/op (i.e.
+// Fast is at least Ratio× faster). Both benchmarks must be present.
+func checkRatio(s *Snapshot, spec ratioSpec) error {
+	var slow, fast *Benchmark
+	for i := range s.Benchmarks {
+		switch s.Benchmarks[i].Name {
+		case spec.Slow:
+			slow = &s.Benchmarks[i]
+		case spec.Fast:
+			fast = &s.Benchmarks[i]
+		}
+	}
+	if slow == nil {
+		return fmt.Errorf("min-ratio: benchmark %q not in snapshot", spec.Slow)
+	}
+	if fast == nil {
+		return fmt.Errorf("min-ratio: benchmark %q not in snapshot", spec.Fast)
+	}
+	if fast.NsPerOp <= 0 {
+		return fmt.Errorf("min-ratio: %q has non-positive ns/op", spec.Fast)
+	}
+	got := slow.NsPerOp / fast.NsPerOp
+	if got < spec.Ratio {
+		return fmt.Errorf("min-ratio: %s / %s = %.2fx < required %.2fx",
+			spec.Slow, spec.Fast, got, spec.Ratio)
+	}
+	return nil
+}
+
 // compare diffs two snapshots. Rows are sorted by name; only benchmarks
-// present in both snapshots are threshold-checked.
-func compare(oldS, newS *Snapshot, maxTime, maxBytes float64) (rows []diffRow, failures int) {
+// present in both snapshots are threshold-checked. A non-nil only
+// restricts the diff to benchmarks whose name matches it.
+func compare(oldS, newS *Snapshot, maxTime, maxBytes float64, only *regexp.Regexp) (rows []diffRow, failures int) {
 	index := func(s *Snapshot) map[string]*Benchmark {
 		m := make(map[string]*Benchmark, len(s.Benchmarks))
 		for i := range s.Benchmarks {
@@ -171,6 +228,9 @@ func compare(oldS, newS *Snapshot, maxTime, maxBytes float64) (rows []diffRow, f
 	}
 	sorted := make([]string, 0, len(names))
 	for n := range names {
+		if only != nil && !only.MatchString(n) {
+			continue
+		}
 		sorted = append(sorted, n)
 	}
 	sort.Strings(sorted)
@@ -211,7 +271,7 @@ func runSnapshot(out string, in io.Reader) error {
 	return os.WriteFile(out, data, 0o644)
 }
 
-func runCompare(w io.Writer, oldPath, newPath string, maxTime, maxBytes float64) (int, error) {
+func runCompare(w io.Writer, oldPath, newPath string, maxTime, maxBytes float64, only *regexp.Regexp, ratios []ratioSpec) (int, error) {
 	oldS, err := loadSnapshot(oldPath)
 	if err != nil {
 		return 1, err
@@ -220,7 +280,7 @@ func runCompare(w io.Writer, oldPath, newPath string, maxTime, maxBytes float64)
 	if err != nil {
 		return 1, err
 	}
-	rows, failures := compare(oldS, newS, maxTime, maxBytes)
+	rows, failures := compare(oldS, newS, maxTime, maxBytes, only)
 	fmt.Fprintf(w, "%-36s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "Δns", "ΔB/op")
 	for _, r := range rows {
 		switch {
@@ -237,6 +297,17 @@ func runCompare(w io.Writer, oldPath, newPath string, maxTime, maxBytes float64)
 				r.name, r.old.NsPerOp, r.new.NsPerOp, 100*r.timeDelta, 100*r.byteDelta, status)
 		}
 	}
+	// -min-ratio assertions run against the new snapshot: they express
+	// intra-run invariants (warm must beat cold) rather than old-vs-new
+	// regressions.
+	for _, spec := range ratios {
+		if err := checkRatio(newS, spec); err != nil {
+			fmt.Fprintf(w, "FAIL: %v\n", err)
+			failures++
+		} else {
+			fmt.Fprintf(w, "min-ratio OK: %s >= %.2fx %s\n", spec.Slow, spec.Ratio, spec.Fast)
+		}
+	}
 	if failures > 0 {
 		fmt.Fprintf(w, "\n%d benchmark(s) regressed beyond thresholds (ns/op %+.1f%%, B/op %+.1f%%)\n",
 			failures, 100*maxTime, 100*maxBytes)
@@ -246,11 +317,37 @@ func runCompare(w io.Writer, oldPath, newPath string, maxTime, maxBytes float64)
 	return 0, nil
 }
 
+// runCheck is the single-snapshot mode: only -min-ratio assertions, no
+// old-vs-new diff. Used to enforce intra-run invariants on a snapshot
+// that has no meaningful baseline (e.g. warm-vs-cold sub-benchmarks).
+func runCheck(w io.Writer, path string, ratios []ratioSpec) (int, error) {
+	s, err := loadSnapshot(path)
+	if err != nil {
+		return 1, err
+	}
+	failures := 0
+	for _, spec := range ratios {
+		if err := checkRatio(s, spec); err != nil {
+			fmt.Fprintf(w, "FAIL: %v\n", err)
+			failures++
+		} else {
+			fmt.Fprintf(w, "min-ratio OK: %s >= %.2fx %s\n", spec.Slow, spec.Ratio, spec.Fast)
+		}
+	}
+	if failures > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
 func main() {
 	snapshot := flag.Bool("snapshot", false, "parse `go test -bench` text (stdin or a file argument) into a JSON snapshot")
 	out := flag.String("o", "-", "snapshot output path (- for stdout)")
 	maxTime := flag.Float64("max-time-regress", 0.10, "maximum tolerated fractional ns/op increase (negative demands improvement)")
 	maxBytes := flag.Float64("max-bytes-regress", 0.10, "maximum tolerated fractional B/op increase (negative demands improvement)")
+	only := flag.String("only", "", "restrict the compare diff to benchmarks matching this regexp")
+	var minRatios multiFlag
+	flag.Var(&minRatios, "min-ratio", "assert ns/op(slow) >= R*ns/op(fast) in the new snapshot, as 'slow,fast,R' (repeatable)")
 	flag.Parse()
 
 	if *snapshot {
@@ -274,14 +371,47 @@ func main() {
 		return
 	}
 
+	var ratios []ratioSpec
+	for _, raw := range minRatios {
+		spec, err := parseRatio(raw)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		ratios = append(ratios, spec)
+	}
+	var onlyRe *regexp.Regexp
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: -only:", err)
+			os.Exit(2)
+		}
+		onlyRe = re
+	}
+
+	if flag.NArg() == 1 && len(ratios) > 0 {
+		code, err := runCheck(os.Stdout, flag.Arg(0), ratios)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		}
+		os.Exit(code)
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff -snapshot [-o out.json] [bench.txt]")
-		fmt.Fprintln(os.Stderr, "       benchdiff [-max-time-regress F] [-max-bytes-regress F] old.json new.json")
+		fmt.Fprintln(os.Stderr, "       benchdiff [-max-time-regress F] [-max-bytes-regress F] [-only RE] [-min-ratio slow,fast,R] old.json new.json")
+		fmt.Fprintln(os.Stderr, "       benchdiff -min-ratio slow,fast,R snap.json")
 		os.Exit(2)
 	}
-	code, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *maxTime, *maxBytes)
+	code, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *maxTime, *maxBytes, onlyRe, ratios)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 	}
 	os.Exit(code)
 }
+
+// multiFlag collects repeated string flag values.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ";") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }

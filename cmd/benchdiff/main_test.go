@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -54,7 +56,7 @@ func mkSnap(name string, ns, bytes float64) *Snapshot {
 }
 
 func TestCompareWithinThreshold(t *testing.T) {
-	rows, failures := compare(mkSnap("BenchmarkX", 100, 1000), mkSnap("BenchmarkX", 105, 900), 0.10, 0.10)
+	rows, failures := compare(mkSnap("BenchmarkX", 100, 1000), mkSnap("BenchmarkX", 105, 900), 0.10, 0.10, nil)
 	if failures != 0 {
 		t.Fatalf("unexpected failures: %+v", rows)
 	}
@@ -64,7 +66,7 @@ func TestCompareWithinThreshold(t *testing.T) {
 }
 
 func TestCompareFailsOverThreshold(t *testing.T) {
-	_, failures := compare(mkSnap("BenchmarkX", 100, 1000), mkSnap("BenchmarkX", 150, 1000), 0.10, 0.10)
+	_, failures := compare(mkSnap("BenchmarkX", 100, 1000), mkSnap("BenchmarkX", 150, 1000), 0.10, 0.10, nil)
 	if failures != 1 {
 		t.Fatalf("failures = %d, want 1", failures)
 	}
@@ -72,11 +74,11 @@ func TestCompareFailsOverThreshold(t *testing.T) {
 
 func TestCompareNegativeThresholdDemandsImprovement(t *testing.T) {
 	// -0.30 on bytes: a 20% reduction is not enough.
-	_, failures := compare(mkSnap("BenchmarkX", 100, 1000), mkSnap("BenchmarkX", 100, 800), 0.10, -0.30)
+	_, failures := compare(mkSnap("BenchmarkX", 100, 1000), mkSnap("BenchmarkX", 100, 800), 0.10, -0.30, nil)
 	if failures != 1 {
 		t.Fatalf("failures = %d, want 1 (20%% < required 30%% cut)", failures)
 	}
-	_, failures = compare(mkSnap("BenchmarkX", 100, 1000), mkSnap("BenchmarkX", 100, 600), 0.10, -0.30)
+	_, failures = compare(mkSnap("BenchmarkX", 100, 1000), mkSnap("BenchmarkX", 100, 600), 0.10, -0.30, nil)
 	if failures != 0 {
 		t.Fatalf("failures = %d, want 0 (40%% cut clears -30%%)", failures)
 	}
@@ -85,7 +87,7 @@ func TestCompareNegativeThresholdDemandsImprovement(t *testing.T) {
 func TestCompareAddedRemovedNotFailures(t *testing.T) {
 	old := mkSnap("BenchmarkGone", 100, 0)
 	new := mkSnap("BenchmarkNew", 100, 0)
-	rows, failures := compare(old, new, 0, 0)
+	rows, failures := compare(old, new, 0, 0, nil)
 	if failures != 0 {
 		t.Fatalf("added/removed counted as failures: %+v", rows)
 	}
@@ -101,7 +103,7 @@ func TestSnapshotCompareRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	code, err := runCompare(&sb, path, path, 0.0, 0.0)
+	code, err := runCompare(&sb, path, path, 0.0, 0.0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,5 +123,127 @@ func TestLoadSnapshotRejectsBadSchema(t *testing.T) {
 	}
 	if _, err := loadSnapshot(path); err == nil {
 		t.Fatal("expected schema error")
+	}
+}
+
+// multiSnap builds a snapshot holding several benchmarks at given ns/op.
+func multiSnap(ns map[string]float64) *Snapshot {
+	s := &Snapshot{Schema: schemaV1}
+	names := make([]string, 0, len(ns))
+	for n := range ns {
+		names = append(names, n)
+	}
+	// Deterministic order keeps failure messages stable.
+	for len(names) > 0 {
+		min := 0
+		for i := range names {
+			if names[i] < names[min] {
+				min = i
+			}
+		}
+		n := names[min]
+		names = append(names[:min], names[min+1:]...)
+		s.Benchmarks = append(s.Benchmarks, Benchmark{Name: n, Iterations: 1, NsPerOp: ns[n]})
+	}
+	return s
+}
+
+func TestCompareOnlyRestrictsChecks(t *testing.T) {
+	old := multiSnap(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100})
+	new := multiSnap(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 500})
+	// BenchmarkB regresses 5x, but -only excludes it from the diff.
+	re := regexp.MustCompile(`^BenchmarkA$`)
+	rows, failures := compare(old, new, 0.10, 0.10, re)
+	if failures != 0 {
+		t.Fatalf("failures = %d, want 0 with -only ^BenchmarkA$", failures)
+	}
+	if len(rows) != 1 || rows[0].name != "BenchmarkA" {
+		t.Fatalf("rows = %+v, want only BenchmarkA", rows)
+	}
+	if _, failures = compare(old, new, 0.10, 0.10, nil); failures != 1 {
+		t.Fatalf("without -only, failures = %d, want 1", failures)
+	}
+}
+
+func TestParseRatio(t *testing.T) {
+	spec, err := parseRatio("BenchmarkSweepDeep/cold,BenchmarkSweepDeep/warm,1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Slow != "BenchmarkSweepDeep/cold" || spec.Fast != "BenchmarkSweepDeep/warm" || spec.Ratio != 1.5 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	for _, bad := range []string{"", "a,b", "a,b,c,d", "a,b,zero", "a,b,-1"} {
+		if _, err := parseRatio(bad); err == nil {
+			t.Fatalf("parseRatio(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckRatio(t *testing.T) {
+	s := multiSnap(map[string]float64{"Benchmark/cold": 300, "Benchmark/warm": 100})
+	if err := checkRatio(s, ratioSpec{Slow: "Benchmark/cold", Fast: "Benchmark/warm", Ratio: 1.5}); err != nil {
+		t.Fatalf("3x ratio failed a 1.5x requirement: %v", err)
+	}
+	if err := checkRatio(s, ratioSpec{Slow: "Benchmark/cold", Fast: "Benchmark/warm", Ratio: 5}); err == nil {
+		t.Fatal("3x ratio passed a 5x requirement")
+	}
+	if err := checkRatio(s, ratioSpec{Slow: "Benchmark/missing", Fast: "Benchmark/warm", Ratio: 1}); err == nil {
+		t.Fatal("missing slow benchmark passed")
+	}
+	if err := checkRatio(s, ratioSpec{Slow: "Benchmark/cold", Fast: "Benchmark/missing", Ratio: 1}); err == nil {
+		t.Fatal("missing fast benchmark passed")
+	}
+}
+
+func TestRunCheckSingleSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	data, err := json.MarshalIndent(multiSnap(map[string]float64{"B/cold": 200, "B/warm": 100}), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	code, err := runCheck(&sb, path, []ratioSpec{{Slow: "B/cold", Fast: "B/warm", Ratio: 1.5}})
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v out=%s", code, err, sb.String())
+	}
+	sb.Reset()
+	code, err = runCheck(&sb, path, []ratioSpec{{Slow: "B/cold", Fast: "B/warm", Ratio: 3}})
+	if err != nil || code != 1 {
+		t.Fatalf("under-ratio: code=%d err=%v out=%s", code, err, sb.String())
+	}
+}
+
+func TestCompareMinRatioAgainstNewSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	oldP, newP := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	write := func(p string, s *Snapshot) {
+		data, err := json.MarshalIndent(s, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(oldP, multiSnap(map[string]float64{"B/cold": 400, "B/warm": 100}))
+	write(newP, multiSnap(map[string]float64{"B/cold": 120, "B/warm": 100}))
+	var sb strings.Builder
+	// Thresholds pass (both improved or equal), but the new snapshot's
+	// ratio collapsed below 1.5x — the compare must fail on it.
+	code, err := runCompare(&sb, oldP, newP, 0.10, 0.10,
+		nil, []ratioSpec{{Slow: "B/cold", Fast: "B/warm", Ratio: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("ratio collapse not failed: %s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "min-ratio") {
+		t.Fatalf("failure not attributed to min-ratio:\n%s", sb.String())
 	}
 }

@@ -107,6 +107,131 @@ func TestDocsMakeTargetsExist(t *testing.T) {
 	t.Logf("checked %d make-target mentions against %d Makefile targets", mentions, len(targets))
 }
 
+// goldenDocRow matches a row of the golden-hash table of record in
+// docs/NUMERICS.md: `| D1/AG | `0x…` |`.
+var goldenDocRow = regexp.MustCompile("(?m)^\\|\\s*([DM]\\d+/[A-Z]+)\\s*\\|\\s*`(0x[0-9a-f]{1,16})`\\s*\\|")
+
+// goldenSourceEntry matches an entry of the preContextGolden map in
+// internal/core/ctx_test.go: `"D1/AG":  0xbfd57440d12e6bb4,`.
+var goldenSourceEntry = regexp.MustCompile(`"([DM]\d+/[A-Z]+)":\s*(0x[0-9a-f]{1,16}),`)
+
+// TestNumericsGoldenTable pins docs/NUMERICS.md's golden-hash table of
+// record to the hashes the test suite actually asserts: every entry of
+// the preContextGolden map in internal/core/ctx_test.go must appear in
+// the doc's table with the identical hash, and vice versa. The goldens
+// and their documented invariance argument can therefore only move
+// together — `make numerics-check` runs exactly this test.
+func TestNumericsGoldenTable(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("docs", "NUMERICS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]string{}
+	for _, m := range goldenDocRow.FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = m[2]
+	}
+	if len(documented) == 0 {
+		t.Fatal("docs/NUMERICS.md has no parsable golden-hash table rows — regex drift?")
+	}
+
+	src, err := os.ReadFile(filepath.Join("internal", "core", "ctx_test.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	asserted := map[string]string{}
+	for _, m := range goldenSourceEntry.FindAllStringSubmatch(string(src), -1) {
+		asserted[m[1]] = m[2]
+	}
+	if len(asserted) == 0 {
+		t.Fatal("internal/core/ctx_test.go has no parsable preContextGolden entries — regex drift?")
+	}
+
+	for key, hash := range asserted {
+		switch got := documented[key]; got {
+		case "":
+			t.Errorf("sweep %s is pinned in ctx_test.go (%s) but missing from the NUMERICS.md table", key, hash)
+		case hash:
+		default:
+			t.Errorf("sweep %s: NUMERICS.md documents %s but ctx_test.go asserts %s", key, got, hash)
+		}
+	}
+	for key := range documented {
+		if _, ok := asserted[key]; !ok {
+			t.Errorf("sweep %s appears in the NUMERICS.md table but is not asserted in ctx_test.go", key)
+		}
+	}
+	t.Logf("cross-checked %d golden hashes between docs/NUMERICS.md and ctx_test.go", len(asserted))
+}
+
+// numericsSymbol matches a backtick-quoted qualified Go identifier in
+// docs/NUMERICS.md, e.g. `eigen.RankOneOp` or `core.Config.ColdWiden`.
+// Only packages the doc actually covers are resolved.
+var numericsSymbol = regexp.MustCompile("`(eigen|cut|core|kmeans|linalg|temporal)\\.([A-Z]\\w*)((?:\\.\\w+)*)`")
+
+// TestNumericsSymbolReferences verifies every qualified symbol named in
+// docs/NUMERICS.md against the source tree: the leading identifier must
+// be declared in the named internal package (type, func, var, const or
+// method), and any trailing selector components must at least occur as
+// identifiers there. The numerics documentation cannot drift to symbols
+// that were renamed away.
+func TestNumericsSymbolReferences(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("docs", "NUMERICS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mentions := numericsSymbol.FindAllStringSubmatch(string(doc), -1)
+	if len(mentions) == 0 {
+		t.Fatal("docs/NUMERICS.md names no qualified symbols — regex drift?")
+	}
+
+	pkgSource := map[string]string{}
+	source := func(pkg string) string {
+		if src, ok := pkgSource[pkg]; ok {
+			return src
+		}
+		files, err := filepath.Glob(filepath.Join("internal", pkg, "*.go"))
+		if err != nil || len(files) == 0 {
+			t.Fatalf("no Go sources for internal/%s (%v)", pkg, err)
+		}
+		var sb strings.Builder
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb.Write(data)
+			sb.WriteByte('\n')
+		}
+		pkgSource[pkg] = sb.String()
+		return pkgSource[pkg]
+	}
+
+	checked := map[string]bool{}
+	for _, m := range mentions {
+		pkg, sym, rest := m[1], m[2], m[3]
+		full := m[0]
+		if checked[full] {
+			continue
+		}
+		checked[full] = true
+		src := source(pkg)
+		decl := regexp.MustCompile(`(?m)^(?:func (?:\([^)]+\) )?|type |var |const )` + sym + `\b|^\t` + sym + ` `)
+		if !decl.MatchString(src) {
+			t.Errorf("docs/NUMERICS.md mentions %s but internal/%s declares no %q", full, pkg, sym)
+			continue
+		}
+		for _, part := range strings.Split(strings.TrimPrefix(rest, "."), ".") {
+			if part == "" {
+				continue
+			}
+			if !regexp.MustCompile(`\b` + part + `\b`).MatchString(src) {
+				t.Errorf("docs/NUMERICS.md mentions %s but %q does not occur in internal/%s", full, part, pkg)
+			}
+		}
+	}
+	t.Logf("resolved %d distinct qualified symbols from docs/NUMERICS.md", len(checked))
+}
+
 // benchMention matches a Go benchmark identifier in prose or code.
 var benchMention = regexp.MustCompile(`\bBenchmark[A-Z]\w*`)
 

@@ -119,6 +119,13 @@ type Config struct {
 	// 0 selects GOMAXPROCS, 1 forces serial execution. Results are
 	// bit-identical for every worker count at the same Seed.
 	Workers int
+	// ColdWiden disables the warm-started widening of the cached
+	// spectral decomposition — every solve starts from the seeded
+	// random basis instead of the previous Ritz block. Partitions are
+	// identical either way (docs/NUMERICS.md § Warm starts); the knob
+	// exists for warm-vs-cold benchmarks and the tests pinning that
+	// equivalence.
+	ColdWiden bool
 }
 
 // Normalized returns the config with every zero-value "use a default"
@@ -304,7 +311,7 @@ func newPipelineFromGraph(ctx context.Context, g *graph.Graph, f []float64, cfg 
 		p.SG = sg
 		p.m2 = time.Since(t0)
 	}
-	opts := cut.Options{Seed: cfg.Seed, Restarts: cfg.Restarts, DenseCutoff: cfg.DenseCutoff, Workers: cfg.Workers}
+	opts := cut.Options{Seed: cfg.Seed, Restarts: cfg.Restarts, DenseCutoff: cfg.DenseCutoff, Workers: cfg.Workers, ColdWiden: cfg.ColdWiden}
 	if p.SG != nil {
 		p.spec = cut.NewSpectral(p.SG.Links, cfg.Scheme.method(), opts)
 	} else {

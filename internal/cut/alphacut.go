@@ -15,51 +15,38 @@ import (
 // AlphaCutOp is the α-Cut matrix M = (d·dᵀ)/s − A of Equation 6 presented
 // as a matrix-free operator: d is the weighted degree vector of the
 // (super)graph, s = 1ᵀD1 the total degree, and A its weighted adjacency.
-// One product costs O(nnz + n), which is what makes the partitioning stage
-// scale to the large-network supergraphs.
+// It is a thin wrapper around eigen.RankOneOp (U = d, S = s, zero
+// diagonal; docs/NUMERICS.md § The sparse-plus-rank-one matvec), so one
+// product costs O(nnz + n) and M is never materialized — which is what
+// makes the partitioning stage scale to the large-network supergraphs.
 //
 // M equals the negative of Newman's modularity matrix (Section 7), so
 // minimizing α-Cut approximately maximizes modularity.
 type AlphaCutOp struct {
-	A *linalg.CSR
-	d []float64
-	s float64
+	eigen.RankOneOp
 }
 
 // NewAlphaCutOp wraps the symmetric weighted adjacency matrix adj.
 func NewAlphaCutOp(adj *linalg.CSR) (*AlphaCutOp, error) {
-	if adj.Rows() != adj.Cols() {
-		return nil, fmt.Errorf("cut: adjacency must be square, got %dx%d", adj.Rows(), adj.Cols())
-	}
 	d := adj.RowSums()
-	return &AlphaCutOp{A: adj, d: d, s: linalg.Sum(d)}, nil
+	ro, err := eigen.NewRankOneOp(adj, nil, d, linalg.Sum(d))
+	if err != nil {
+		return nil, fmt.Errorf("cut: %w", err)
+	}
+	return &AlphaCutOp{RankOneOp: *ro}, nil
 }
 
-// Dim returns the operator order.
-func (op *AlphaCutOp) Dim() int { return op.A.Rows() }
-
-// Apply computes dst = M·x = d·(dᵀx)/s − A·x.
-func (op *AlphaCutOp) Apply(dst, x []float64) {
-	op.A.MulVec(dst, x)
-	for i := range dst {
-		dst[i] = -dst[i]
-	}
-	if op.s != 0 {
-		linalg.Axpy(linalg.Dot(op.d, x)/op.s, op.d, dst)
-	}
-}
-
-// Dense materializes M for the dense eigensolver path. Intended for
-// operators below the dense cutoff.
+// Dense materializes M — a diagnostic for tests and the dense-vs-Lanczos
+// ablation; the partitioning pipeline itself stays matrix-free.
 func (op *AlphaCutOp) Dense() *linalg.Dense {
 	n := op.Dim()
 	m := linalg.NewDense(n, n)
 	for i := 0; i < n; i++ {
 		row := m.Row(i)
-		if op.s != 0 {
-			di := op.d[i]
+		if op.S != 0 {
+			di := op.U[i]
 			for j := 0; j < n; j++ {
-				row[j] = di * op.d[j] / op.s
+				row[j] = di * op.U[j] / op.S
 			}
 		}
 		op.A.Range(i, func(j int, v float64) { row[j] -= v })
@@ -70,42 +57,37 @@ func (op *AlphaCutOp) Dense() *linalg.Dense {
 // ScalarAlphaOp is the α-Cut matrix for a *constant* balance factor α
 // instead of the paper's dynamic vector α_i = W(P_i,V)/W(V,V): substituting
 // a scalar α into Equation 5 gives Σ_i c_iᵀ(αD − A)c_i / |P_i|, so the
-// matrix is simply αD − A. Kept for the ablation comparing the dynamic α
+// matrix is simply αD − A — an eigen.RankOneOp with precomputed diagonal
+// α·d and no rank-one term. Kept for the ablation comparing the dynamic α
 // against fixed balances.
 type ScalarAlphaOp struct {
-	A     *linalg.CSR
-	d     []float64
+	eigen.RankOneOp
 	Alpha float64
 }
 
 // NewScalarAlphaOp wraps the adjacency matrix with a fixed α ∈ [0,1].
 func NewScalarAlphaOp(adj *linalg.CSR, alpha float64) (*ScalarAlphaOp, error) {
-	if adj.Rows() != adj.Cols() {
-		return nil, fmt.Errorf("cut: adjacency must be square, got %dx%d", adj.Rows(), adj.Cols())
-	}
 	if alpha < 0 || alpha > 1 {
 		return nil, fmt.Errorf("cut: alpha %v outside [0,1]", alpha)
 	}
-	return &ScalarAlphaOp{A: adj, d: adj.RowSums(), Alpha: alpha}, nil
-}
-
-// Dim returns the operator order.
-func (op *ScalarAlphaOp) Dim() int { return op.A.Rows() }
-
-// Apply computes dst = (αD − A)·x.
-func (op *ScalarAlphaOp) Apply(dst, x []float64) {
-	op.A.MulVec(dst, x)
-	for i := range dst {
-		dst[i] = op.Alpha*op.d[i]*x[i] - dst[i]
+	diag := adj.RowSums()
+	for i, d := range diag {
+		diag[i] = alpha * d
 	}
+	ro, err := eigen.NewRankOneOp(adj, diag, nil, 0)
+	if err != nil {
+		return nil, fmt.Errorf("cut: %w", err)
+	}
+	return &ScalarAlphaOp{RankOneOp: *ro, Alpha: alpha}, nil
 }
 
-// Dense materializes αD − A.
+// Dense materializes αD − A — a diagnostic for tests; the pipeline stays
+// matrix-free.
 func (op *ScalarAlphaOp) Dense() *linalg.Dense {
 	n := op.Dim()
 	m := linalg.NewDense(n, n)
 	for i := 0; i < n; i++ {
-		m.Set(i, i, op.Alpha*op.d[i])
+		m.Set(i, i, op.Diag[i])
 		op.A.Range(i, func(j int, v float64) { m.Add(i, j, -v) })
 	}
 	return m

@@ -49,10 +49,12 @@ type Options struct {
 	// no sentinel exists (the zero value intentionally cannot mean "no
 	// restarts").
 	Restarts int
-	// DenseCutoff: operators up to this order use the dense O(n³)
-	// eigensolver, larger ones use Lanczos. 0 selects 900; any negative
-	// value forces Lanczos at every order — the "always sparse" setting
-	// that a literal 0 cannot express because 0 selects the default.
+	// DenseCutoff is retained for configuration-fingerprint compatibility
+	// (internal/resultcache hashes it) but no longer selects a solver:
+	// the partitioner is always matrix-free through eigen.RankOneOp and
+	// the block Lanczos iteration (docs/NUMERICS.md § The Lanczos
+	// variant). 0 still normalizes to 900 and negative values to -1, so
+	// existing fingerprints keep their meaning.
 	DenseCutoff int
 	// Reduction selects how k′ > k partitions are brought down to k.
 	Reduction Reduction
@@ -70,6 +72,15 @@ type Options struct {
 	// partition produced is identical for every worker count at the same
 	// seed — this is purely a resource knob.
 	Workers int
+	// ColdWiden disables the warm-started widening of a cached Spectral:
+	// every decomposition that outgrows the cache restarts the Lanczos
+	// iteration cold instead of seeding from the cached Ritz block. The
+	// knob exists for benchmarks and ablations that measure the warm-start
+	// win (BenchmarkSweepDeep); it does not change results — warm and cold
+	// widening converge to the same eigenspace and the same partitions
+	// (docs/NUMERICS.md § Warm starts) — and it is deliberately not part
+	// of the configuration fingerprint.
+	ColdWiden bool
 }
 
 // Normalized returns o with every zero-value field replaced by its
@@ -159,7 +170,11 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, k int, method Method, opt
 	}
 
 	eb := getEmbedBuf()
-	rows, err := embed(ctx, g, k, method, opts, eb)
+	want := k + sweepHeadroom
+	if want > n {
+		want = n
+	}
+	rows, err := embed(ctx, g, k, want, method, opts, eb)
 	if err != nil {
 		putEmbedBuf(eb)
 		return nil, err
@@ -196,17 +211,22 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, k int, method Method, opt
 
 // embed computes the row-normalized spectral embedding Z (Alg. 3 lines
 // 1–8): n rows of k coordinates from the k smallest eigenvectors of the
-// method's matrix. The rows live in eb, which the caller returns to the
-// pool once the embedding has been consumed.
-func embed(ctx context.Context, g *graph.Graph, k int, method Method, opts Options, eb *embedBuf) ([][]float64, error) {
-	dec, err := decompose(ctx, g, k, method, opts, nil)
+// method's matrix, where the eigensolve computes want >= k pairs and the
+// embedding keeps the first k. The top-level one-shot path passes the
+// same want the cached Spectral would use, so Partition and
+// Spectral.Partition run the same eigensolve; the recursive bipartition
+// passes want = k = 2 for lean solves on the small meta-graphs. The rows
+// live in eb, which the caller returns to the pool once the embedding
+// has been consumed.
+func embed(ctx context.Context, g *graph.Graph, k, want int, method Method, opts Options, eb *embedBuf) ([][]float64, error) {
+	dec, err := decompose(ctx, g, want, method, opts, nil)
 	if err != nil {
 		return nil, err
 	}
 	cols := len(dec.Values)
-	rows := eb.shape(g.N(), cols)
+	rows := eb.shape(g.N(), k)
 	for i := range rows {
-		copy(rows[i], dec.Vectors[i*cols:(i+1)*cols])
+		copy(rows[i], dec.Vectors[i*cols:i*cols+k])
 		linalg.Normalize(rows[i]) // Equation 8 row normalization
 	}
 	return rows, nil
@@ -361,7 +381,7 @@ func bipartition(ctx context.Context, g *graph.Graph, method Method, opts Option
 	}
 	eb := getEmbedBuf()
 	defer putEmbedBuf(eb) // the degenerate fallback below still reads rows
-	rows, err := embed(ctx, g, 2, method, opts, eb)
+	rows, err := embed(ctx, g, 2, 2, method, opts, eb)
 	if err != nil {
 		return nil, err
 	}

@@ -53,7 +53,7 @@ type Spectral struct {
 	mu     sync.Mutex
 	dec    *eigen.Decomposition // nil until first use; len(Values) grows as needed
 	flight *specFlight          // in-progress decomposition, nil when idle
-	warm   []float64            // optional Lanczos start vector (SetWarmStart)
+	warm   [][]float64          // external warm-start block (SetWarmStartBlock), consumed by the next successful solve
 }
 
 // specFlight is one in-progress decomposition. Waiters block on done;
@@ -121,31 +121,66 @@ func (s *Spectral) PartitionCtx(ctx context.Context, k int) (*Result, error) {
 	return res, nil
 }
 
-// SetWarmStart seeds the next eigendecomposition from v, the warm-start
-// hook of the incremental repartitioning path: a tracker that just solved
-// a nearly identical operator hands the previous Ritz subspace's
-// aggregate direction to the successor Spectral, and the Lanczos
-// iteration starts inside (near-)converged territory instead of from a
-// random vector. The vector is copied; a nil or wrong-length v (the
-// graph changed size — e.g. a re-mined supergraph) silently degrades to
-// the deterministic cold start, as does the dense path, which has no
-// iteration to seed. Warm starts trade bit-reproducibility on the
-// Lanczos path for convergence speed; callers that need byte-identical
-// replays simply never call this.
+// SetWarmStart seeds the next eigendecomposition from the single vector
+// v — the legacy single-vector form of SetWarmStartBlock, equivalent to a
+// one-row block. A nil or wrong-length v clears any pending warm state.
 func (s *Spectral) SetWarmStart(v []float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(v) != s.g.N() {
-		s.warm = nil
+	if v == nil {
+		s.SetWarmStartBlock(nil)
 		return
 	}
-	s.warm = append(s.warm[:0], v...)
+	s.SetWarmStartBlock([][]float64{v})
+}
+
+// SetWarmStartBlock seeds the next eigendecomposition from a whole block
+// of vectors — the warm-start hook of the incremental repartitioning
+// path: a tracker that just solved a nearly identical operator hands the
+// previous solve's Ritz block to the successor Spectral, and the block
+// Lanczos iteration starts inside (near-)converged territory instead of
+// from a random vector (docs/NUMERICS.md § Warm starts).
+//
+// The block is copied. Rows whose length does not match the graph order
+// (the graph changed size — e.g. a re-mined supergraph) are dropped; an
+// empty surviving block clears the warm state and the next solve starts
+// cold. The block is consumed by the next *successful* decomposition: a
+// solve cancelled mid-flight leaves it pending, so a retry warm-starts
+// exactly as the cancelled attempt would have — cancellation never leaves
+// half-consumed warm state behind.
+//
+// Warm starts trade bit-reproducibility for convergence speed: a warm
+// solve converges to the same eigenspace but not the same basis bits as
+// a cold one. Callers that need byte-identical replays simply never call
+// this.
+func (s *Spectral) SetWarmStartBlock(block [][]float64) {
+	n := s.g.N()
+	var keep [][]float64
+	for _, v := range block {
+		if len(v) != n {
+			continue
+		}
+		cp := make([]float64, n)
+		copy(cp, v)
+		keep = append(keep, cp)
+	}
+	s.mu.Lock()
+	s.warm = keep
+	s.mu.Unlock()
+}
+
+// WarmBlock returns a copy of the cached decomposition's Ritz vectors —
+// the block a successor Spectral wants for SetWarmStartBlock. It returns
+// nil when nothing is cached.
+func (s *Spectral) WarmBlock() [][]float64 {
+	s.mu.Lock()
+	dec := s.dec
+	s.mu.Unlock()
+	return ritzBlock(dec)
 }
 
 // WarmVector aggregates the cached decomposition's Ritz vectors into one
-// start direction for a successor solve (the sum of the eigenvectors —
-// a vector with components in every converged direction, which is what
-// a Lanczos warm start wants). It returns nil when nothing is cached.
+// start direction for a successor solve — the legacy single-vector
+// counterpart of WarmBlock, kept for callers that persist one vector. It
+// returns nil when nothing is cached.
 func (s *Spectral) WarmVector() []float64 {
 	s.mu.Lock()
 	dec := s.dec
@@ -164,6 +199,20 @@ func (s *Spectral) WarmVector() []float64 {
 		return nil
 	}
 	return v
+}
+
+// ritzBlock unpacks a decomposition's eigenvectors into freshly allocated
+// row vectors — the eigen.LanczosOptions.StartBlock shape. A nil or empty
+// decomposition yields nil.
+func ritzBlock(dec *eigen.Decomposition) [][]float64 {
+	if dec == nil || len(dec.Values) == 0 {
+		return nil
+	}
+	blk := make([][]float64, len(dec.Values))
+	for j := range blk {
+		blk[j] = dec.Vector(j)
+	}
+	return blk
 }
 
 // Warm ensures the cached decomposition holds at least k eigenpairs,
@@ -259,18 +308,24 @@ func (s *Spectral) decomposition(ctx context.Context, k int) (*eigen.Decompositi
 			continue
 		}
 
-		want := k
-		if s.g.N() > s.opts.DenseCutoff {
-			// Lanczos path: grab headroom so a k-sweep triggers only a
-			// few recomputations (dense path returns everything anyway).
-			want = 2 * k
-			if want > s.g.N() {
-				want = s.g.N()
-			}
+		// Uniform headroom: solve for a few eigenpairs beyond k so a
+		// k-sweep widens the cache in a handful of steps, each of which
+		// warm-starts from the previous Ritz block below.
+		want := k + sweepHeadroom
+		if n := s.g.N(); want > n {
+			want = n
 		}
 		f := &specFlight{want: want, done: make(chan struct{})}
 		s.flight = f
+		// Seed priority: an externally supplied warm block (the
+		// incremental-tracker hand-off) wins; otherwise a cached, too
+		// narrow decomposition seeds its own widening — unless ColdWiden
+		// asks for a cold restart (the ablation knob).
 		warm := s.warm
+		external := len(warm) > 0
+		if !external && !s.opts.ColdWiden {
+			warm = ritzBlock(s.dec)
+		}
 		s.mu.Unlock()
 
 		specMisses.Inc()
@@ -286,6 +341,12 @@ func (s *Spectral) decomposition(ctx context.Context, k int) (*eigen.Decompositi
 			s.mu.Unlock()
 			return nil, err
 		}
+		if external {
+			// Consume the external warm block only on success: a
+			// cancelled flight leaves it pending so a retry starts from
+			// the same seeds the cancelled attempt had.
+			s.warm = nil
+		}
 		if s.dec == nil || len(dec.Values) > len(s.dec.Values) {
 			s.dec = dec
 		}
@@ -298,45 +359,34 @@ func (s *Spectral) decomposition(ctx context.Context, k int) (*eigen.Decompositi
 	}
 }
 
-// decompose computes the k smallest eigenpairs of the method's matrix.
-// start, when non-nil, warm-starts the Lanczos path (the dense path has
-// no iteration to seed and ignores it).
-func decompose(ctx context.Context, g *graph.Graph, k int, method Method, opts Options, start []float64) (*eigen.Decomposition, error) {
+// sweepHeadroom is the extra eigenpairs a decomposition computes beyond
+// the k that triggered it, so a deepening sweep widens the cache in
+// strides instead of one solve per k.
+const sweepHeadroom = 8
+
+// decompose computes the k smallest eigenpairs of the method's matrix,
+// always matrix-free: every method is an eigen.RankOneOp-shaped operator
+// (or the normalized Laplacian for the ncut baseline) handed to the block
+// Lanczos solver — the α-Cut matrix is never materialized
+// (docs/NUMERICS.md § The sparse-plus-rank-one matvec). startBlock, when
+// non-empty, seeds the iteration (docs/NUMERICS.md § Warm starts).
+func decompose(ctx context.Context, g *graph.Graph, k int, method Method, opts Options, startBlock [][]float64) (*eigen.Decomposition, error) {
 	adj, err := g.AdjacencyCSR()
 	if err != nil {
 		return nil, err
 	}
 	var op eigen.Op
-	var dense *linalg.Dense
 	switch method {
 	case MethodNCut:
-		o, err := NewNCutOp(adj)
-		if err != nil {
-			return nil, err
-		}
-		op = o
-		if g.N() <= opts.DenseCutoff {
-			dense = o.Dense()
-		}
+		op, err = NewNCutOp(adj)
 	case MethodScalarAlpha:
 		// opts reached here through Options.normalized, so Alpha is set.
-		o, err := NewScalarAlphaOp(adj, opts.Alpha)
-		if err != nil {
-			return nil, err
-		}
-		op = o
-		if g.N() <= opts.DenseCutoff {
-			dense = o.Dense()
-		}
+		op, err = NewScalarAlphaOp(adj, opts.Alpha)
 	default:
-		o, err := NewAlphaCutOp(adj)
-		if err != nil {
-			return nil, err
-		}
-		op = o
-		if g.N() <= opts.DenseCutoff {
-			dense = o.Dense()
-		}
+		op, err = NewAlphaCutOp(adj)
 	}
-	return eigen.SmallestKFrom(ctx, op, dense, k, opts.Seed, start)
+	if err != nil {
+		return nil, err
+	}
+	return eigen.Lanczos(ctx, op, k, eigen.LanczosOptions{Seed: opts.Seed, StartBlock: startBlock})
 }

@@ -1,0 +1,171 @@
+package cut
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"roadpart/internal/graph"
+)
+
+// assignEqual fails the test unless the two results carry bit-identical
+// partitions.
+func assignEqual(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.K != want.K {
+		t.Fatalf("%s: K=%d, want %d", label, got.K, want.K)
+	}
+	for i := range want.Assign {
+		if got.Assign[i] != want.Assign[i] {
+			t.Fatalf("%s: assignments differ at node %d (%d vs %d)",
+				label, i, got.Assign[i], want.Assign[i])
+		}
+	}
+}
+
+// irregular builds a deterministic connected graph with road-network-like
+// irregularity: a weighted ring plus pseudorandom chords, every weight
+// distinct-ish. Unlike the symmetric grid fixture, its operator spectrum
+// has well-separated eigenvalues, so k-means cluster boundaries are
+// robust to the low-order-bit basis differences between warm- and
+// cold-seeded solves — the regime the warm-start invariance contract
+// actually promises bit-identity in (docs/NUMERICS.md § Warm starts).
+func irregular(n, chords int, seed uint64) *graph.Graph {
+	g := graph.New(n)
+	rng := seed
+	next := func() uint64 { // splitmix64, matching the repo's PRNG idiom
+		rng += 0x9e3779b97f4a7c15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	w := func() float64 { return 0.5 + float64(next()%1000)/1000.0 }
+	for i := 0; i < n; i++ {
+		_ = g.AddEdge(i, (i+1)%n, w())
+	}
+	for c := 0; c < chords; c++ {
+		u := int(next() % uint64(n))
+		v := int(next() % uint64(n))
+		if u == v || u == (v+1)%n || v == (u+1)%n {
+			continue
+		}
+		_ = g.AddEdge(u, v, w())
+	}
+	return g
+}
+
+// TestSpectralWarmWideningMatchesCold pins the warm-start invariance at
+// the cut level (docs/NUMERICS.md § Warm starts): a shared Spectral whose
+// cache widens through an ascending k-sequence — each solve seeded by the
+// previous Ritz block — produces partitions bit-identical to a ColdWiden
+// twin that re-seeds every solve from the cold random basis. Widening is
+// genuinely exercised: with sweepHeadroom 8, the final k outgrows the
+// k=2 solve's cached want=10 decomposition.
+//
+// The k-sequence deliberately stays in the paper's sweep range. Warm and
+// cold solves agree on the eigenspace to the solver tolerance (1e-8),
+// not bit-for-bit on the basis, so partitions coincide exactly only
+// while every k-means boundary margin exceeds that tolerance — which
+// holds here and on the evaluation datasets, but degrades for very deep
+// k on small graphs where margins shrink toward the noise floor
+// (docs/NUMERICS.md § Warm starts spells out this regime). One-shot
+// Partition is likewise not compared here: a fresh want=k+8 solve can
+// stop at a different Krylov depth than the cached wider solve, so
+// cached ≡ one-shot bit-identity is only promised for small graphs —
+// see TestSpectralMatchesPartition.
+func TestSpectralWarmWideningMatchesCold(t *testing.T) {
+	g := irregular(240, 120, 0x3a9b)
+	ks := []int{2, 6, 12} // 12 > 2+sweepHeadroom: the last step widens
+
+	warm := NewSpectral(g, MethodAlphaCut, Options{Seed: 3})
+	cold := NewSpectral(g, MethodAlphaCut, Options{Seed: 3, ColdWiden: true})
+	for _, k := range ks {
+		wres, err := warm.Partition(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cres, err := cold.Partition(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assignEqual(t, fmt.Sprintf("warm vs cold widening k=%d", k), cres, wres)
+	}
+}
+
+// countdownCtx is a deterministic mid-solve cancellation trigger: Err()
+// reports nil for the first `fuel` polls and context.Canceled after.
+// The Lanczos iteration polls ctx.Err() once per basis column, so a
+// small fuel cancels a solve a fixed number of columns in — no timers,
+// no races, same abort point on every run.
+type countdownCtx struct {
+	context.Context
+	fuel int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.fuel > 0 {
+		c.fuel--
+		return nil
+	}
+	return context.Canceled
+}
+
+// TestSpectralCancelLeavesWarmPending pins the consume-on-success
+// contract of SetWarmStartBlock: a solve cancelled mid-flight — whether
+// before the eigensolve starts or a few Lanczos columns in — leaves the
+// external warm block pending and unmodified, so a retry warm-starts
+// exactly as the cancelled attempt would have. The proof of "no stale
+// warm state" is bit-identity: the retry's partition must equal that of
+// a control Spectral given the same block and never cancelled.
+func TestSpectralCancelLeavesWarmPending(t *testing.T) {
+	g := grid(12, 12)
+	const k = 4
+
+	// Donor: a converged solve on the same graph supplies the block the
+	// incremental-repartitioning path would hand over.
+	donor := NewSpectral(g, MethodAlphaCut, Options{Seed: 9})
+	if err := donor.Warm(k); err != nil {
+		t.Fatal(err)
+	}
+	blk := donor.WarmBlock()
+	if len(blk) == 0 {
+		t.Fatal("donor WarmBlock is empty")
+	}
+
+	// Control: warm block applied, never cancelled.
+	control := NewSpectral(g, MethodAlphaCut, Options{Seed: 9})
+	control.SetWarmStartBlock(blk)
+	want, err := control.Partition(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancelled := context.Background()
+	{
+		ctx, cancel := context.WithCancel(cancelled)
+		cancel()
+		cancelled = ctx
+	}
+	for _, tc := range []struct {
+		name string
+		ctx  context.Context
+	}{
+		{"pre-cancelled", cancelled},
+		{"mid-solve", &countdownCtx{Context: context.Background(), fuel: 6}},
+	} {
+		s := NewSpectral(g, MethodAlphaCut, Options{Seed: 9})
+		s.SetWarmStartBlock(blk)
+		if _, err := s.PartitionCtx(tc.ctx, k); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", tc.name, err)
+		}
+		// The warm block must still be pending: the retry's solve seeds
+		// from it and lands on the control's exact bits.
+		got, err := s.Partition(k)
+		if err != nil {
+			t.Fatalf("%s retry: %v", tc.name, err)
+		}
+		assignEqual(t, tc.name+" retry vs uncancelled control", got, want)
+	}
+}

@@ -3,6 +3,7 @@ package eigen
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"roadpart/internal/linalg"
 )
@@ -35,52 +36,82 @@ func (o CSROp) Dim() int { return o.M.Rows() }
 // Apply computes dst = M·x.
 func (o CSROp) Apply(dst, x []float64) { o.M.MulVec(dst, x) }
 
-// LanczosOptions tunes the iterative solver. The zero value selects
+// deflationTol is the residual norm below which a Krylov direction is
+// treated as contained in the current basis (an invariant subspace was
+// found) and the chain restarts from a fresh orthogonal direction.
+const deflationTol = 1e-12
+
+// LanczosOptions tunes the iterative solver (the block Lanczos variant
+// with full reorthogonalization and an explicit Rayleigh–Ritz projection;
+// docs/NUMERICS.md § The Lanczos variant). The zero value selects
 // reasonable defaults.
 type LanczosOptions struct {
-	// MaxSteps caps the Krylov dimension. 0 selects
-	// min(n, max(4k+30, 80)).
+	// MaxSteps caps the basis dimension (seed columns, Krylov expansions
+	// and restarts combined). 0 selects min(n, max(4k+30, 80)).
 	MaxSteps int
-	// Tol is the residual tolerance for declaring a Ritz pair converged.
-	// 0 selects 1e-8 (relative to the spectral scale of T).
+	// Tol is the residual tolerance for declaring a Ritz pair converged:
+	// the iteration stops at the first periodic check where all k
+	// requested pairs satisfy ‖M·y − θ·y‖ ≤ Tol·max|θ| (the residual is
+	// computed exactly from the Rayleigh matrix's tail couplings, so
+	// seeded bases are certified correctly; docs/NUMERICS.md
+	// § Early termination). 0 selects 1e-8.
 	Tol float64
-	// Seed drives the deterministic start vector. The same seed always
-	// yields the same decomposition.
+	// Seed drives the deterministic start vector and every
+	// invariant-subspace restart direction. The same seed always yields
+	// the same decomposition (docs/NUMERICS.md § Determinism).
 	Seed uint64
 	// Start, when its length equals the operator order, seeds the
 	// iteration from this vector (normalized) instead of the
-	// deterministic random start — the warm-start hook the temporal
-	// tracker uses to begin the Krylov recurrence inside the subspace a
-	// previous, slightly different operator converged to. A warm start
-	// also arms residual-based early termination under Tol: the
-	// iteration stops as soon as the k requested Ritz pairs are
-	// converged instead of always running MaxSteps. Both effects change
-	// which floating-point operations run, so warm-started results are
-	// numerically equivalent but not bit-identical to cold ones; leave
-	// Start nil (or mismatched) and the solver is byte-for-byte the
-	// classic deterministic iteration.
+	// deterministic random start — the single-vector warm-start hook
+	// (equivalent to a one-row StartBlock). Ignored when StartBlock
+	// seeds at least one column. A nil or wrong-length Start degrades to
+	// the deterministic cold start.
 	Start []float64
+	// StartBlock seeds the basis with a whole block of vectors — the
+	// Ritz vectors of a previous, closely related solve (a narrower
+	// decomposition of the same operator, or the same graph under
+	// slightly different densities). Rows are orthonormalized in order;
+	// rows of the wrong length or (numerically) dependent on earlier
+	// rows are dropped. Warm-started solves run the same algorithm from
+	// a different basis, so they converge to the same eigenspace but are
+	// not bit-identical to cold solves (docs/NUMERICS.md § Warm starts).
+	StartBlock [][]float64
+	// Block is the cold-start block size: the number of deterministic
+	// random orthonormal start vectors when no Start/StartBlock is
+	// given. Values < 1 select 1. A block > 1 resolves eigenvalue
+	// clusters of multiplicity up to the block size faster; the default
+	// single chain still finds them through full reorthogonalization and
+	// restarts.
+	Block int
 }
 
 // Lanczos computes the k algebraically smallest eigenpairs of the symmetric
-// operator a using the Lanczos iteration with full reorthogonalization.
+// operator a with a block Lanczos iteration: full reorthogonalization
+// against the whole basis (two passes), an explicit dense Rayleigh–Ritz
+// projection H = QᵀAQ solved by Householder tridiagonalization + QL, and
+// residual-based early termination. It implements the eigensolver step of
+// the paper's Algorithm 3 (line 5); the numerical contract — variant
+// choice, restart policy, warm-start and determinism semantics — is
+// specified in docs/NUMERICS.md.
 //
-// Full reorthogonalization costs O(m²n) for m steps but eliminates the
-// ghost-eigenvalue problem entirely, which matters here: the α-Cut spectrum
-// has tight clusters near its lower end, exactly where spurious copies
-// appear with selective reorthogonalization. For the supergraph sizes the
-// framework produces (10²–10⁴ supernodes) this cost is far below the O(n³)
-// of the dense solver.
+// Full reorthogonalization costs O(m²n) for an m-column basis but
+// eliminates the ghost-eigenvalue problem entirely, which matters here:
+// the α-Cut spectrum has tight clusters near its lower end, exactly where
+// spurious copies appear with selective reorthogonalization. The explicit
+// Rayleigh matrix (rather than the classic three-term tridiagonal) is what
+// lets a solve start from an arbitrary seed block — previous Ritz vectors
+// — and still certify convergence with an exact residual bound.
 //
-// If the Krylov space exhausts the operator (an invariant subspace is found)
-// the iteration restarts with a fresh vector orthogonal to everything found
-// so far, so disconnected graphs are handled correctly.
+// If the Krylov space exhausts the operator (an invariant subspace is
+// found) the iteration restarts with a fresh deterministic direction
+// orthogonal to everything found so far, so disconnected graphs are
+// handled correctly.
 //
-// ctx is the iteration budget: the loop checks it before every Krylov
-// step (each step is one operator application plus O(m·n) work) and
+// ctx is the iteration budget: the loop checks it before every basis
+// column (one operator application plus O(m·n) orthogonalization) and
 // returns a clean error wrapping ctx.Err() when it expires, so a
 // pathological operator under a deadline degrades to an error instead of
-// spinning. The step count itself is always bounded by MaxSteps, and the
+// spinning. The column count is always bounded by MaxSteps, and the
 // invariant-subspace restart tries at most five fresh directions, so even
 // with context.Background() the iteration terminates.
 //
@@ -128,95 +159,104 @@ func LanczosWS(ctx context.Context, a Op, k int, opts LanczosOptions, ws *Worksp
 		defer putWorkspace(ws)
 	}
 	ws.reset(n, m)
-	alpha := ws.alpha[:0]
-	beta := ws.beta[:0] // beta[i] couples steps i and i+1
 
-	warm := false
-	if len(opts.Start) == n {
-		copy(ws.v, opts.Start)
-		if linalg.Normalize(ws.v) > 0 {
-			warm = true
-		}
-	}
-	if !warm {
-		randUnitInto(&rng, ws.v)
-	}
-	steps := 0
-	for steps < m {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("eigen: Lanczos interrupted after %d of %d steps: %w", steps, m, err)
-		}
-		j := steps
-		steps++ // basis row j is occupied by ws.step
-
-		var betaPrev float64
-		if j > 0 {
-			betaPrev = beta[j-1]
-		}
-		al, b := ws.step(a, j, betaPrev)
-		alpha = append(alpha, al)
-
-		if j+1 == m {
-			break
-		}
-		if b < 1e-12 {
-			// Invariant subspace found: restart with a fresh direction
-			// orthogonal to the current basis.
-			if !ws.restart(&rng, j) {
-				break // the whole space is spanned; T is complete
-			}
-			beta = append(beta, 0)
-			copy(ws.v, ws.w)
+	// Seed the basis: StartBlock rows first (orthonormalized in order,
+	// degenerate rows dropped), else the legacy single Start vector, else
+	// a deterministic random block of opts.Block columns.
+	cnt := 0
+	seeded := false
+	for _, s := range opts.StartBlock {
+		if len(s) != n || cnt == m {
 			continue
 		}
-		beta = append(beta, b)
-		for i := range ws.w {
-			ws.v[i] = ws.w[i] / b
+		if ws.seed(s, cnt) {
+			cnt++
+			seeded = true
 		}
+	}
+	if !seeded && len(opts.Start) == n {
+		if ws.seed(opts.Start, 0) {
+			cnt = 1
+			seeded = true
+		}
+	}
+	if cnt == 0 {
+		randUnitInto(&rng, ws.v)
+		copy(ws.q[0], ws.v)
+		cnt = 1
+	}
+	if !seeded {
+		for cnt < opts.Block && cnt < m {
+			if !ws.restartRows(&rng, cnt) {
+				break
+			}
+			cnt++
+		}
+	}
 
-		// Warm starts arm residual-based early termination: once the k
-		// requested Ritz pairs are converged (|β_j · s_last| bounds each
-		// pair's residual) the remaining steps are pure overhead. Only
-		// the warm path checks, so a cold run executes exactly the
-		// historical operation sequence and stays bit-identical.
-		if warm && steps >= k+2 && steps%8 == 0 && ritzConverged(ws, alpha, beta, b, k, tol) {
+	// Process basis columns in order. Each column j contributes one
+	// operator application, one Rayleigh-matrix column (H[i][j] = the
+	// first orthogonalization pass's coefficients, β on the appended
+	// residual row) and, unless the residual deflates or the basis is
+	// full, one new basis column. The loop ends when every column is
+	// processed (proc == cnt with no replenishment possible) or a
+	// periodic Rayleigh–Ritz solve certifies the k requested pairs under
+	// tol.
+	proc := 0
+	solved := false
+	for proc < cnt {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("eigen: Lanczos interrupted after %d of %d columns: %w", proc, m, err)
+		}
+		j := proc
+		beta := ws.columnStep(a, j, cnt)
+		ws.offres[j] = beta
+		if beta > deflationTol && cnt < m {
+			qn := ws.q[cnt]
+			for i, wv := range ws.w {
+				qn[i] = wv / beta
+			}
+			ws.h[cnt*m+j] = beta
+			ws.h[j*m+cnt] = beta
+			ws.offres[j] = 0 // residual captured as basis row cnt
+			cnt++
+		}
+		proc++
+		if proc == cnt && cnt < m {
+			// Invariant subspace found: restart with a fresh direction
+			// orthogonal to the current basis.
+			if ws.restartRows(&rng, cnt) {
+				cnt++
+			}
+		}
+		if proc >= k+2 && proc%8 == 0 && ws.converged(proc, cnt, k, tol) {
+			solved = true
 			break
 		}
 	}
 
-	// Solve the tridiagonal Ritz problem T s = θ s.
-	d := ws.d[:steps]
-	copy(d, alpha)
-	e := ws.e[:steps]
-	for i := range e {
-		e[i] = 0
+	p := proc
+	if !solved {
+		if err := ws.ritzSolve(p); err != nil {
+			return nil, err
+		}
 	}
-	copy(e, beta)
-	z := ws.z[:steps*steps]
-	for i := range z {
-		z[i] = 0
-	}
-	for i := 0; i < steps; i++ {
-		z[i*steps+i] = 1
-	}
-	if err := SymTridEigen(d, e, z, steps); err != nil {
-		return nil, err
-	}
-	if k > steps {
-		k = steps
+	if k > p {
+		k = p
 	}
 
 	// Assemble the k smallest Ritz pairs: y_j = Q · s_j. The outputs are
 	// freshly allocated — a Decomposition outlives (and is cached beyond)
 	// the workspace that produced it.
+	z := ws.z[:p*p]
 	vec := make([]float64, n*k)
 	col := ws.col
 	for j := 0; j < k; j++ {
 		for i := range col {
 			col[i] = 0
 		}
-		for i := 0; i < steps; i++ {
-			linalg.Axpy(z[i*steps+j], ws.q[i], col)
+		for i := 0; i < p; i++ {
+			linalg.Axpy(z[i*p+j], ws.q[i], col)
 		}
 		linalg.Normalize(col)
 		for i := 0; i < n; i++ {
@@ -224,72 +264,92 @@ func LanczosWS(ctx context.Context, a Op, k int, opts LanczosOptions, ws *Worksp
 		}
 	}
 	vals := make([]float64, k)
-	copy(vals, d[:k])
-	// On the cold path convergence is guaranteed by steps ≥ 4k+30 or a
-	// full Krylov space; the warm path may additionally have stopped
-	// early once ritzConverged certified the k pairs under tol.
+	copy(vals, ws.d[:k])
 	return &Decomposition{N: n, Values: vals, Vectors: vec}, nil
 }
 
-// ritzConverged solves the current tridiagonal Ritz problem in the
-// workspace's scratch buffers and reports whether the k smallest Ritz
-// pairs all satisfy the classic Lanczos residual bound
-// ‖A·y − θ·y‖ = |β_j · s_{j,last}| ≤ tol · spectral scale. The scratch
-// (ws.d, ws.e, ws.z) is dead between Krylov steps — the final Ritz solve
-// after the loop rewrites it from alpha/beta — so the check allocates
+// ritzSolve computes the eigendecomposition of the p×p leading principal
+// block of the Rayleigh matrix H = QᵀAQ in the workspace's scratch: on
+// return ws.d[:p] holds the Ritz values ascending and ws.z[:p*p] the
+// Ritz coordinate vectors (row-major, vectors in columns). It allocates
 // nothing.
-func ritzConverged(ws *Workspace, alpha, beta []float64, betaLast float64, k int, tol float64) bool {
-	steps := len(alpha)
-	if k > steps {
+func (ws *Workspace) ritzSolve(p int) error {
+	m := ws.m
+	z := ws.z[:p*p]
+	for i := 0; i < p; i++ {
+		copy(z[i*p:(i+1)*p], ws.h[i*m:i*m+p])
+	}
+	d := ws.d[:p]
+	e := ws.e[:p]
+	tred2(z, d, e, p)
+	return SymTridEigen(d, e, z, p)
+}
+
+// converged solves the Rayleigh–Ritz problem over the p processed columns
+// and reports whether the k smallest Ritz pairs are all converged under
+// tol. The residual of a Ritz pair (θ, y = Q_p·s) is computed exactly
+// from the stored couplings: A·Q_p = Q_cnt·H[:, :p] up to the off-basis
+// deflation remainders, so
+//
+//	‖A·y − θ·y‖² = Σ_{r=p}^{cnt-1} (H[r, :p]·s)² + Σ_{c<p} (offres[c]·s_c)²
+//
+// — the first sum covers residual rows and seed couplings still outside
+// the processed prefix, the second the deflated (or basis-capped)
+// directions that never became rows. This bound stays valid for seeded
+// (warm-started) bases, where the classic tridiagonal |β·s_last| bound
+// does not apply. It allocates nothing.
+func (ws *Workspace) converged(p, cnt, k int, tol float64) bool {
+	if k > p {
 		return false
 	}
-	d := ws.d[:steps]
-	copy(d, alpha)
-	e := ws.e[:steps]
-	for i := range e {
-		e[i] = 0
-	}
-	copy(e, beta)
-	z := ws.z[:steps*steps]
-	for i := range z {
-		z[i] = 0
-	}
-	for i := 0; i < steps; i++ {
-		z[i*steps+i] = 1
-	}
-	if err := SymTridEigen(d, e, z, steps); err != nil {
+	if ws.ritzSolve(p) != nil {
 		return false
 	}
+	d := ws.d[:p]
 	scale := 0.0
 	for _, v := range d {
-		if a := abs(v); a > scale {
+		if a := math.Abs(v); a > scale {
 			scale = a
 		}
 	}
 	if scale == 0 {
 		scale = 1
 	}
+	z := ws.z[:p*p]
+	m := ws.m
+	bound := tol * scale
 	for j := 0; j < k; j++ {
-		if abs(betaLast*z[(steps-1)*steps+j]) > tol*scale {
+		r2 := 0.0
+		for r := p; r < cnt; r++ {
+			hr := ws.h[r*m : r*m+p]
+			dot := 0.0
+			for c, s := range hr {
+				dot += s * z[c*p+j]
+			}
+			r2 += dot * dot
+		}
+		for c := 0; c < p; c++ {
+			t := ws.offres[c] * z[c*p+j]
+			r2 += t * t
+		}
+		if r2 > bound*bound {
 			return false
 		}
 	}
 	return true
 }
 
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
-	}
-	return v
-}
-
 // SmallestK returns the k smallest eigenpairs of op, choosing between the
 // dense solver and Lanczos based on the operator size. denseMat may be nil;
 // when non-nil and small enough it is decomposed directly. ctx bounds the
-// work: the Lanczos path checks it between Krylov steps and the dense
+// work: the Lanczos path checks it between basis columns and the dense
 // path checks it before starting (one dense solve is the cancellation
 // grain — its O(n³) is bounded by the cutoff).
+//
+// The partitioning pipeline no longer materializes its operators (cut's
+// decompose is always matrix-free via RankOneOp; docs/NUMERICS.md § The
+// sparse-plus-rank-one matvec); SmallestK remains for callers that hold a
+// dense matrix anyway, such as the dense-vs-Lanczos ablation.
 func SmallestK(ctx context.Context, op Op, denseMat *linalg.Dense, k int, seed uint64) (*Decomposition, error) {
 	return SmallestKFrom(ctx, op, denseMat, k, seed, nil)
 }

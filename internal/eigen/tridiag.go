@@ -56,9 +56,18 @@ func SymTridEigen(d, e []float64, z []float64, n int) error {
 	if n == 0 {
 		return nil
 	}
-	// Work on a copy of e padded so that e[n-1] exists and is zero.
-	sub := make([]float64, n)
-	copy(sub, e[:n-1])
+	// Work on e padded so that e[n-1] exists and is zero — in place when
+	// the caller provided the extra element (e is documented as destroyed,
+	// and the in-place path keeps hot-loop convergence checks
+	// allocation-free), via a copy otherwise.
+	var sub []float64
+	if len(e) >= n {
+		sub = e[:n]
+		sub[n-1] = 0
+	} else {
+		sub = make([]float64, n)
+		copy(sub, e[:n-1])
+	}
 
 	var f, tst1 float64
 	for l := 0; l < n; l++ {

@@ -7,8 +7,9 @@ import (
 	"roadpart/internal/obs"
 )
 
-// Workspace holds every scratch buffer a Lanczos run needs — the Krylov
-// basis, the iteration vectors, the tridiagonal Ritz problem and the
+// Workspace holds every scratch buffer a block Lanczos run needs — the
+// basis (seed block plus Krylov expansions), the iteration vectors, the
+// dense Rayleigh matrix H = QᵀAQ with its Ritz solve scratch, and the
 // column assembly buffer — so repeated eigensolves (sweep after sweep,
 // request after request) reuse memory instead of reallocating O(m·n)
 // per call.
@@ -32,22 +33,24 @@ import (
 type Workspace struct {
 	n, m int
 
-	kryl  []float64   // m×n row-major Krylov basis backing store
-	q     [][]float64 // row views into kryl, q[j] = kryl[j*n:(j+1)*n]
-	v     []float64   // current Lanczos vector, length n
-	w     []float64   // operator product / residual, length n
-	cand  []float64   // invariant-subspace restart candidate, length n
-	alpha []float64   // tridiagonal diagonal, capacity m
-	beta  []float64   // tridiagonal sub-diagonal, capacity m
-	d     []float64   // Ritz eigenvalues, capacity m
-	e     []float64   // Ritz sub-diagonal scratch, capacity m
-	z     []float64   // Ritz eigenvector matrix, capacity m×m
-	col   []float64   // Ritz column assembly buffer, length n
+	kryl   []float64   // m×n row-major basis backing store
+	q      [][]float64 // row views into kryl, q[j] = kryl[j*n:(j+1)*n]
+	v      []float64   // seed staging vector, length n
+	w      []float64   // operator product / residual, length n
+	cand   []float64   // restart / extra-block candidate, length n
+	h      []float64   // m×m Rayleigh matrix H = QᵀAQ, zeroed by reset
+	offres []float64   // per-column off-basis residual norms, capacity m
+	d      []float64   // Ritz eigenvalues, capacity m
+	e      []float64   // Ritz tridiagonal scratch, capacity m
+	z      []float64   // Ritz solve scratch matrix, capacity m×m
+	col    []float64   // Ritz column assembly buffer, length n
 }
 
-// reset sizes the workspace for an order-n operator and an m-step
-// iteration, growing buffers as needed. Contents are unspecified after
-// reset; LanczosWS overwrites everything it reads.
+// reset sizes the workspace for an order-n operator and an m-column
+// basis, growing buffers as needed. The Rayleigh matrix h is zeroed —
+// unwritten couplings must read as exactly zero for the residual bound —
+// while every other buffer's contents are unspecified; LanczosWS
+// overwrites everything else it reads.
 func (ws *Workspace) reset(n, m int) {
 	ws.n, ws.m = n, m
 	if cap(ws.kryl) < m*n {
@@ -65,8 +68,11 @@ func (ws *Workspace) reset(n, m int) {
 	ws.w = grow(ws.w, n)
 	ws.cand = grow(ws.cand, n)
 	ws.col = grow(ws.col, n)
-	ws.alpha = grow(ws.alpha, m)
-	ws.beta = grow(ws.beta, m)
+	ws.h = grow(ws.h, m*m)
+	for i := range ws.h {
+		ws.h[i] = 0
+	}
+	ws.offres = grow(ws.offres, m)
 	ws.d = grow(ws.d, m)
 	ws.e = grow(ws.e, m)
 	ws.z = grow(ws.z, m*m)
@@ -85,52 +91,69 @@ func grow(s []float64, n int) []float64 {
 // pool's bytes-reused accounting.
 func (ws *Workspace) footprint() int {
 	floats := cap(ws.kryl) + cap(ws.v) + cap(ws.w) + cap(ws.cand) + cap(ws.col) +
-		cap(ws.alpha) + cap(ws.beta) + cap(ws.d) + cap(ws.e) + cap(ws.z)
+		cap(ws.h) + cap(ws.offres) + cap(ws.d) + cap(ws.e) + cap(ws.z)
 	return 8 * floats
 }
 
-// step performs Krylov step j of the iteration with full
-// reorthogonalization: it stores the current Lanczos vector as basis row
-// j, applies the operator, orthogonalizes the product against the whole
-// basis (two passes), and returns the step's diagonal entry α_j and the
-// residual norm β_j. betaPrev is β_{j−1} (ignored at j = 0).
+// columnStep processes basis column j against the cnt current basis rows:
+// it applies the operator to q[j], records the first orthogonalization
+// pass's coefficients as Rayleigh-matrix column j (mirrored, so H stays
+// symmetric), fully reorthogonalizes the product against the whole basis
+// (a second pass), and returns the residual norm β_j.
 //
 // The kernel allocates nothing — it is the Lanczos-iteration
-// allocation-free pin of docs/PERFORMANCE.md — and its arithmetic order
-// is exactly the historical inline loop's, so workspace reuse is
-// bit-identical to per-call allocation.
-func (ws *Workspace) step(a Op, j int, betaPrev float64) (al, b float64) {
-	copy(ws.q[j], ws.v)
-	a.Apply(ws.w, ws.v)
-	al = linalg.Dot(ws.w, ws.v)
-	// w -= alpha*q[j] + beta*q[j-1], then fully reorthogonalize twice.
-	linalg.Axpy(-al, ws.q[j], ws.w)
-	if j > 0 {
-		linalg.Axpy(-betaPrev, ws.q[j-1], ws.w)
+// allocation-free pin of docs/PERFORMANCE.md.
+func (ws *Workspace) columnStep(a Op, j, cnt int) float64 {
+	a.Apply(ws.w, ws.q[j])
+	m := ws.m
+	for i := 0; i < cnt; i++ {
+		qi := ws.q[i]
+		c := linalg.Dot(ws.w, qi)
+		ws.h[i*m+j] = c
+		ws.h[j*m+i] = c
+		linalg.Axpy(-c, qi, ws.w)
 	}
-	for pass := 0; pass < 2; pass++ {
-		for i := 0; i <= j; i++ {
-			qi := ws.q[i]
-			linalg.Axpy(-linalg.Dot(ws.w, qi), qi, ws.w)
-		}
+	for i := 0; i < cnt; i++ {
+		qi := ws.q[i]
+		linalg.Axpy(-linalg.Dot(ws.w, qi), qi, ws.w)
 	}
-	return al, linalg.Norm2(ws.w)
+	return linalg.Norm2(ws.w)
 }
 
-// restart replaces ws.w with a fresh random direction orthogonal to
-// basis rows 0..j, for the invariant-subspace restart. It reports
-// whether a usable direction was found within five attempts.
-func (ws *Workspace) restart(rng *splitmix64, j int) bool {
+// seed stages vector s as basis row cnt: it copies s, orthogonalizes it
+// against rows 0..cnt-1 (two passes) and normalizes. It reports whether
+// the direction survived — a zero vector or one (numerically) dependent
+// on earlier rows is rejected.
+func (ws *Workspace) seed(s []float64, cnt int) bool {
+	copy(ws.v, s)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < cnt; i++ {
+			qi := ws.q[i]
+			linalg.Axpy(-linalg.Dot(ws.v, qi), qi, ws.v)
+		}
+	}
+	if linalg.Normalize(ws.v) <= 1e-8 {
+		return false
+	}
+	copy(ws.q[cnt], ws.v)
+	return true
+}
+
+// restartRows installs a fresh deterministic random direction orthogonal
+// to basis rows 0..cnt-1 as row cnt, for the invariant-subspace restart
+// and for cold-start blocks. It reports whether a usable direction was
+// found within five attempts.
+func (ws *Workspace) restartRows(rng *splitmix64, cnt int) bool {
 	for attempt := 0; attempt < 5; attempt++ {
 		randUnitInto(rng, ws.cand)
 		for pass := 0; pass < 2; pass++ {
-			for i := 0; i <= j; i++ {
+			for i := 0; i < cnt; i++ {
 				qi := ws.q[i]
 				linalg.Axpy(-linalg.Dot(ws.cand, qi), qi, ws.cand)
 			}
 		}
 		if linalg.Normalize(ws.cand) > 1e-8 {
-			copy(ws.w, ws.cand)
+			copy(ws.q[cnt], ws.cand)
 			return true
 		}
 	}

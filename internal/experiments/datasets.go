@@ -14,6 +14,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"roadpart/internal/gen"
 	"roadpart/internal/roadnet"
@@ -63,13 +64,58 @@ var specs = []datasetSpec{
 
 // BuildDataset constructs one of D1, M1, M2, M3 at the given scale,
 // with traffic simulated and the density snapshot applied.
+//
+// Builds are deterministic in (name, scale), so the expensive city
+// generation and traffic microsimulation run once per pair and later
+// calls are served from a process-wide cache. Every call returns a
+// fresh Network clone, so callers may mutate densities (noise
+// experiments, rescaling) without affecting each other.
 func BuildDataset(name string, scale Scale) (*Dataset, error) {
 	for _, sp := range specs {
 		if sp.name == name {
-			return buildFromSpec(sp, scale)
+			return cachedBuild(sp, scale)
 		}
 	}
 	return nil, fmt.Errorf("experiments: unknown dataset %q (want D1, M1, M2 or M3)", name)
+}
+
+// buildKey identifies one deterministic dataset build.
+type buildKey struct {
+	name  string
+	scale Scale
+}
+
+var (
+	buildMu    sync.Mutex
+	buildCache = map[buildKey]*Dataset{}
+)
+
+// cachedBuild memoizes buildFromSpec per (name, scale) and hands out a
+// clone of the cached master network on every call. The master is never
+// exposed, so no caller mutation can poison the cache. Failed builds are
+// not cached (they are configuration errors and cheap to re-fail).
+func cachedBuild(sp datasetSpec, scale Scale) (*Dataset, error) {
+	key := buildKey{name: sp.name, scale: scale}
+	buildMu.Lock()
+	master, ok := buildCache[key]
+	buildMu.Unlock()
+	if !ok {
+		built, err := buildFromSpec(sp, scale)
+		if err != nil {
+			return nil, err
+		}
+		buildMu.Lock()
+		// A concurrent builder may have won the race; keep the first
+		// entry so every clone descends from the same master.
+		if existing, again := buildCache[key]; again {
+			master = existing
+		} else {
+			buildCache[key] = built
+			master = built
+		}
+		buildMu.Unlock()
+	}
+	return &Dataset{Name: master.Name, Net: master.Net.Clone()}, nil
 }
 
 // DatasetNames lists the available dataset names in paper order.

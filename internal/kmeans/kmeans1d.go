@@ -177,13 +177,53 @@ func oneD(data []float64, k, maxIter int, rng *prng, s *Scratch) (*Result, error
 			sums[c] = 0
 			sizes[c] = 0
 		}
+		// In 1-D the means start sorted and Lloyd updates keep them sorted
+		// (each new mean lies strictly between its cluster's boundary
+		// midpoints) except when an empty cluster's stale mean is overtaken
+		// by a moving neighbor. While sortedness holds, the nearest mean is
+		// found by binary search in O(log k) instead of the O(k) scan; the
+		// search reproduces the scan's result exactly — including its
+		// first-index tie-breaking at midpoints and among duplicate means —
+		// so pooled, scanned and searched runs are all bit-identical
+		// (docs/NUMERICS.md § determinism).
+		sortedMeans := true
+		for c := 1; c < k; c++ {
+			if means[c-1] > means[c] {
+				sortedMeans = false
+				break
+			}
+		}
 		wcss = 0
 		for i, v := range data {
-			best, bestD := 0, math.Inf(1)
-			for c, m := range means {
-				d := (v - m) * (v - m)
-				if d < bestD {
-					best, bestD = c, d
+			best := -1
+			var bestD float64
+			if sortedMeans && v == v {
+				// Most points keep their cluster between Lloyd rounds.
+				// The previous assignment is accepted without a search
+				// when both neighbor distances are strictly larger: over
+				// sorted means the squared distance is unimodal in the
+				// index, so strictly-greater neighbors certify c as the
+				// unique (hence leftmost) global minimizer. Any tie or
+				// out-of-range/stale c falls through to the exact search,
+				// keeping results bit-identical.
+				if c := assign[i]; uint(c) < uint(k) {
+					dc := (v - means[c]) * (v - means[c])
+					if (c == 0 || (v-means[c-1])*(v-means[c-1]) > dc) &&
+						(c == k-1 || (v-means[c+1])*(v-means[c+1]) > dc) {
+						best, bestD = c, dc
+					}
+				}
+				if best < 0 {
+					best = nearestSorted(means, v)
+					bestD = (v - means[best]) * (v - means[best])
+				}
+			} else {
+				best, bestD = 0, math.Inf(1)
+				for c, m := range means {
+					d := (v - m) * (v - m)
+					if d < bestD {
+						best, bestD = c, d
+					}
 				}
 			}
 			if assign[i] != best {
@@ -204,6 +244,50 @@ func oneD(data []float64, k, maxIter int, rng *prng, s *Scratch) (*Result, error
 		}
 	}
 
+	return packResult(k, iter, wcss, means, assign, sizes, s)
+}
+
+// nearestSorted returns the index the linear nearest-centroid scan would
+// pick for value v given ascending means: the lowest index minimizing
+// (v-m)². Ties — v exactly on a midpoint, or duplicate mean values —
+// resolve to the lowest index, matching the scan's strict `d < bestD`
+// update. means must be sorted ascending and v must not be NaN.
+func nearestSorted(means []float64, v float64) int {
+	// First index with means[j] >= v — sort.SearchFloat64s semantics,
+	// hand-rolled because the per-point closure call dominates the Lloyd
+	// loop otherwise.
+	lo, hi := 0, len(means)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if means[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	j := lo
+	switch {
+	case j == 0:
+		return 0
+	case j == len(means):
+		j = len(means) - 1
+	default:
+		dlo, dhi := v-means[j-1], means[j]-v
+		if dlo*dlo <= dhi*dhi {
+			j--
+		}
+	}
+	// Duplicate means: the scan awards every member of an equal run to its
+	// first index.
+	for j > 0 && means[j-1] == means[j] {
+		j--
+	}
+	return j
+}
+
+// packResult packages a converged Lloyd state into a Result, reusing the
+// scratch's output buffers when present.
+func packResult(k, iter int, wcss float64, means []float64, assign, sizes []int, s *Scratch) (*Result, error) {
 	if s != nil {
 		if cap(s.out) < k {
 			s.out = make([][]float64, k)

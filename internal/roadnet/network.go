@@ -37,6 +37,21 @@ type Network struct {
 	Segments      []Segment
 }
 
+// Clone returns a deep copy of the network. Intersections and Segments
+// are plain value slices, so copying them fully decouples the clone:
+// SetDensities on either network never affects the other. Callers that
+// hand out a shared network to mutating consumers (e.g. noise-injection
+// experiments) should hand out clones.
+func (n *Network) Clone() *Network {
+	c := &Network{
+		Intersections: make([]Intersection, len(n.Intersections)),
+		Segments:      make([]Segment, len(n.Segments)),
+	}
+	copy(c.Intersections, n.Intersections)
+	copy(c.Segments, n.Segments)
+	return c
+}
+
 // Validate checks referential integrity: intersection IDs match their
 // indices, segment endpoints are in range, lengths are positive and finite,
 // and densities are non-negative and finite.

@@ -14,24 +14,41 @@ import (
 	"roadpart/internal/traffic"
 )
 
-// slowNet builds a network whose dense eigensolve alone takes hundreds
-// of milliseconds, so a 1ms compute budget cannot be beaten even when a
+// slowNet returns a network whose partition compute takes hundreds of
+// milliseconds, so a 1ms compute budget cannot be beaten even when a
 // loaded scheduler delivers the deadline timer tens of milliseconds
-// late (the context's Err only flips after the timer fires).
+// late (the context's Err only flips after the timer fires). The
+// matrix-free eigensolver made moderate networks fast, so the fixture
+// has to be large; it is built once and shared read-only across tests.
+var (
+	slowNetOnce sync.Once
+	slowNetVal  *roadnet.Network
+	slowNetErr  error
+)
+
 func slowNet(t *testing.T) *roadnet.Network {
 	t.Helper()
-	net, err := gen.City(gen.CityConfig{TargetIntersections: 400, TargetSegments: 700, Seed: 3})
-	if err != nil {
-		t.Fatal(err)
+	slowNetOnce.Do(func() {
+		net, err := gen.City(gen.CityConfig{TargetIntersections: 8000, TargetSegments: 14000, Seed: 3})
+		if err != nil {
+			slowNetErr = err
+			return
+		}
+		snap, err := traffic.SyntheticField(net, traffic.FieldConfig{Seed: 4})
+		if err != nil {
+			slowNetErr = err
+			return
+		}
+		if err := traffic.ApplySnapshot(net, snap); err != nil {
+			slowNetErr = err
+			return
+		}
+		slowNetVal = net
+	})
+	if slowNetErr != nil {
+		t.Fatal(slowNetErr)
 	}
-	snap, err := traffic.SyntheticField(net, traffic.FieldConfig{Seed: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := traffic.ApplySnapshot(net, snap); err != nil {
-		t.Fatal(err)
-	}
-	return net
+	return slowNetVal
 }
 
 // TestRequestTimeoutReturns408 asserts an exceeded compute budget —

@@ -75,13 +75,13 @@ type Config struct {
 	// every setting produces bit-identical frames.
 	DriftThreshold float64
 	// WarmStart seeds each global re-partition's eigensolve from the
-	// previous frame's converged eigenbasis (cut.Spectral.SetWarmStart).
-	// On the iterative Lanczos path this trades bit-reproducibility for
-	// convergence speed — warm-started frames are numerically
-	// equivalent, not byte-identical, to cold ones — so it is opt-in
-	// and excluded from the bit-identity goldens. Networks small enough
-	// for the dense eigensolver (the default experiment scales) ignore
-	// it entirely.
+	// previous frame's converged Ritz block
+	// (cut.Spectral.SetWarmStartBlock), so successive frames' block
+	// Lanczos solves start inside near-converged territory. This trades
+	// bit-reproducibility for convergence speed — warm-started frames
+	// are numerically equivalent, not byte-identical, to cold ones
+	// (docs/NUMERICS.md § Warm starts) — so it is opt-in and excluded
+	// from the bit-identity goldens.
 	WarmStart bool
 	// Seed drives all randomized stages.
 	Seed uint64
@@ -226,16 +226,16 @@ func RunCtx(ctx context.Context, net *roadnet.Network, snaps []traffic.Snapshot,
 }
 
 // partitionGlobal partitions the whole graph, selecting k automatically
-// when cfg.K is zero. warm, when non-nil, seeds the eigensolve from a
-// previous frame's basis; the returned warm vector (nil unless
+// when cfg.K is zero. warm, when non-empty, seeds the eigensolve from a
+// previous frame's Ritz block; the returned warm block (nil unless
 // cfg.WarmStart) carries this frame's basis to the next call.
-func partitionGlobal(ctx context.Context, g *graph.Graph, f []float64, cfg Config, warm []float64) ([]int, []float64, error) {
+func partitionGlobal(ctx context.Context, g *graph.Graph, f []float64, cfg Config, warm [][]float64) ([]int, [][]float64, error) {
 	p, err := core.NewPipelineFromGraphCtx(ctx, g, f, core.Config{Scheme: cfg.Scheme, Seed: cfg.Seed})
 	if err != nil {
 		return nil, nil, err
 	}
-	if warm != nil {
-		p.Spectral().SetWarmStart(warm)
+	if len(warm) > 0 {
+		p.Spectral().SetWarmStartBlock(warm)
 	}
 	k := cfg.K
 	max := cap_(p, cfg.KMax)
@@ -256,9 +256,9 @@ func partitionGlobal(ctx context.Context, g *graph.Graph, f []float64, cfg Confi
 	if err != nil {
 		return nil, nil, err
 	}
-	var nextWarm []float64
+	var nextWarm [][]float64
 	if cfg.WarmStart {
-		nextWarm = p.Spectral().WarmVector()
+		nextWarm = p.Spectral().WarmBlock()
 	}
 	return res.Assign, nextWarm, nil
 }

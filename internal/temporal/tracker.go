@@ -76,8 +76,8 @@ type Tracker struct {
 	prev       *Frame    // last frame produced
 	seedAssign []int     // frame 0's partition (distributed regime anchor)
 	regions    []*trackRegion
-	nodeRegion []int     // dual-graph node -> region index
-	warm       []float64 // previous eigenbasis aggregate (WarmStart only)
+	nodeRegion []int       // dual-graph node -> region index
+	warm       [][]float64 // previous frame's Ritz block (WarmStart only)
 }
 
 // NewTracker prepares a tracker for net: it builds the dual graph once
@@ -401,17 +401,17 @@ func (t *Tracker) resplit(ctx context.Context, f []float64) ([]int, error) {
 	return out, nil
 }
 
-// warmStart returns the eigenbasis seed for the next global partition,
-// nil unless WarmStart is enabled and a previous basis exists.
-func (t *Tracker) warmStart() []float64 {
+// warmStart returns the eigenbasis seed block for the next global
+// partition, nil unless WarmStart is enabled and a previous basis exists.
+func (t *Tracker) warmStart() [][]float64 {
 	if !t.cfg.WarmStart {
 		return nil
 	}
 	return t.warm
 }
 
-func (t *Tracker) setWarm(v []float64) {
-	if t.cfg.WarmStart && v != nil {
+func (t *Tracker) setWarm(v [][]float64) {
+	if t.cfg.WarmStart && len(v) > 0 {
 		t.warm = v
 	}
 }
