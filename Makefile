@@ -4,8 +4,8 @@
 # a fuzz smoke pass over the untrusted-input parsers, a benchmark-harness
 # smoke check (one short benchmark through cmd/benchdiff), a regression
 # diff of the anchor benchmarks against the latest BENCH_<n>.json
-# (bench-check), and the docs checks (gofmt drift + relative-link rot
-# in *.md).
+# (bench-check), the job-durability chaos suite (chaos-smoke), and the
+# docs checks (gofmt drift + relative-link rot in *.md).
 
 GO ?= go
 FUZZTIME ?= 10s
@@ -29,7 +29,7 @@ BENCH_TABLE3_ANCHOR ?= BENCH_4.json
 BENCH_TABLE3_GATE ?= -0.40
 BENCH_SWEEP_RATIO ?= 1.5
 
-.PHONY: build vet test race bench bench-smoke bench-check fuzz-smoke sse-smoke docs-check numerics-check verify
+.PHONY: build vet test race bench bench-smoke bench-check fuzz-smoke sse-smoke chaos-smoke docs-check numerics-check verify
 
 build:
 	$(GO) build ./...
@@ -108,6 +108,15 @@ fuzz-smoke:
 sse-smoke:
 	$(GO) test -race -run '^(TestDensitiesStream|TestWatchStreamsEvents|TestWatchDisconnectReleasesSubscriber)$$' ./internal/server
 
+# chaos-smoke runs the job-durability fault-injection suite under the
+# race detector: the journal is killed between every pair of records
+# and the manager restarted, asserting no acknowledged job is lost and
+# none runs to completion twice; plus the unjournaled-submission and
+# journal-failure-liveness invariants (see internal/jobs/chaos_test.go
+# and docs/ARCHITECTURE.md § Jobs dataflow).
+chaos-smoke:
+	$(GO) test -race -short -run '^TestChaos' ./internal/jobs
+
 # numerics-check pins docs/NUMERICS.md's golden-hash table of record to
 # the hashes actually asserted by the test suite: the table in the doc
 # and the map in internal/core/ctx_test.go must agree bit for bit, so
@@ -124,4 +133,4 @@ docs-check:
 	$(GO) vet ./...
 	$(GO) test -run TestDocsLinks .
 
-verify: build vet test race fuzz-smoke bench-smoke bench-check sse-smoke docs-check numerics-check
+verify: build vet test race fuzz-smoke bench-smoke bench-check sse-smoke chaos-smoke docs-check numerics-check

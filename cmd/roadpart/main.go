@@ -13,6 +13,14 @@
 //	roadpart -preset D1 -k 6 -timings   # per-stage breakdown (Table 3 layout)
 //	roadpart -preset D1 -k 6 -cache-dir /var/cache/roadpart   # reuse results
 //	roadpart -watch http://localhost:8080   # follow a daemon's repartition stream
+//	roadpart -preset D1 -k 6 -submit http://localhost:8080 -wait   # durable async job
+//	roadpart -poll http://localhost:8080/v1/jobs/j000001-8f... -wait
+//
+// -submit hands the work to a roadpartd daemon's async job queue
+// (POST /v1/jobs) and prints the job's poll URL; -wait polls until the
+// job is terminal and prints the result. -watch reconnects with capped
+// exponential backoff when the stream drops, deduplicating the replayed
+// event by sequence number (see docs/API.md § Async jobs).
 //
 // -cache-dir reads and writes roadpart-cache/v1 snapshot files — the same
 // artifacts roadpartd's -cache-dir uses — so a result computed by either
@@ -20,13 +28,10 @@
 package main
 
 import (
-	"bufio"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
-	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -60,11 +65,21 @@ func main() {
 		geoPath  = flag.String("geojson", "", "write a GeoJSON FeatureCollection with partition properties here")
 		cacheDir = flag.String("cache-dir", "", "read/write roadpart-cache/v1 result snapshots here (shared with roadpartd -cache-dir)")
 		watchURL = flag.String("watch", "", "subscribe to a roadpartd density stream (e.g. http://localhost:8080) and print repartition events until interrupted; all partitioning flags are ignored")
+		watchTry = flag.Int("watch-retries", 0, "give up -watch after this many consecutive failed reconnect attempts (0 = retry forever)")
+		jobBase  = flag.String("submit", "", "submit the partition (or, with -autok, the k sweep) to a roadpartd daemon (e.g. http://localhost:8080) as a durable async job instead of computing locally")
+		jobPoll  = flag.String("poll", "", "poll an async job by URL (as printed by -submit) and print its state; other flags are ignored")
+		jobWait  = flag.Bool("wait", false, "with -submit or -poll, keep polling until the job is terminal, then fetch and print its result")
 	)
 	flag.Parse()
 
 	if *watchURL != "" {
-		if err := watch(*watchURL); err != nil {
+		if err := watch(*watchURL, *watchTry, watchBackoff, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *jobPoll != "" {
+		if err := pollJob(*jobPoll, *jobWait); err != nil {
 			fatal(err)
 		}
 		return
@@ -77,6 +92,12 @@ func main() {
 	scheme, err := parseScheme(*schemeN)
 	if err != nil {
 		fatal(err)
+	}
+	if *jobBase != "" {
+		if err := submitJob(*jobBase, jobRequest(net, *schemeN, *k, *kmax, *autoK, *stabEps, *seed, *workers), *jobWait); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	var store *resultcache.Store
 	if *cacheDir != "" {
@@ -333,63 +354,6 @@ func writeAssignment(path string, assign []int) error {
 		return err
 	}
 	return f.Close()
-}
-
-// watch subscribes to a roadpartd daemon's /v1/watch SSE feed and
-// prints one line per repartition event until the stream ends (daemon
-// shutdown) or the process is interrupted.
-func watch(base string) error {
-	url := strings.TrimRight(base, "/") + "/v1/watch"
-	resp, err := http.Get(url)
-	if err != nil {
-		return fmt.Errorf("watch: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("watch: %s answered %s", url, resp.Status)
-	}
-	fmt.Printf("watching %s\n", url)
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 1<<20), 16<<20)
-	var event string
-	var data strings.Builder
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, ":"):
-			// keep-alive comment
-		case strings.HasPrefix(line, "event: "):
-			event = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			data.WriteString(strings.TrimPrefix(line, "data: "))
-		case line == "":
-			if event == "repartition" && data.Len() > 0 {
-				printRepartition(data.String())
-			}
-			event = ""
-			data.Reset()
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("watch: stream ended: %w", err)
-	}
-	return nil
-}
-
-// printRepartition renders one SSE event as a log line. The first frame
-// of a stream has no predecessor, so its ARI prints as a dash.
-func printRepartition(doc string) {
-	var ev server.RepartitionEvent
-	if err := json.Unmarshal([]byte(doc), &ev); err != nil {
-		fmt.Fprintf(os.Stderr, "watch: undecodable event: %v\n", err)
-		return
-	}
-	ari := "—"
-	if !math.IsNaN(ev.Frame.ARIvsPrev) {
-		ari = fmt.Sprintf("%.3f", ev.Frame.ARIvsPrev)
-	}
-	fmt.Printf("seq=%-4d snapshot=%-4d k=%-3d ans=%.4f ari=%s path=%-7s density=%s\n",
-		ev.Seq, ev.Frame.Snapshot, ev.Frame.K, ev.Frame.Report.ANS, ari, ev.Frame.Path, ev.Density)
 }
 
 func fatal(err error) {

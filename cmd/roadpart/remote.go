@@ -1,0 +1,279 @@
+package main
+
+// Remote-daemon client paths: the -watch SSE follower and the
+// -submit/-poll/-wait async job client. Both reuse the server's own
+// JSON document types so the CLI cannot drift from the API, and both
+// lean on internal/jobs.Backoff so the client's reconnect cadence
+// matches the retry policy documented in docs/TUNING.md.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"roadpart/internal/jobs"
+	"roadpart/internal/roadnet"
+	"roadpart/internal/server"
+)
+
+// watchBackoff paces -watch reconnects: capped exponential with
+// jitter, the same policy shape the daemon applies to job retries.
+var watchBackoff = jobs.Backoff{Base: time.Second, Max: 30 * time.Second, Factor: 2, Jitter: 0.2, Seed: 1}
+
+// errWatchFatal marks failures retrying cannot fix (4xx: wrong URL,
+// wrong daemon); watch gives up immediately instead of backing off.
+var errWatchFatal = errors.New("watch: permanent failure")
+
+// watch follows a roadpartd daemon's /v1/watch SSE feed and prints one
+// line per repartition event. A dropped connection (EOF, network error,
+// daemon restart) reconnects with capped exponential backoff instead of
+// exiting; the daemon replays its most recent event to each new
+// subscriber, so events at or below the last printed sequence number
+// are skipped. maxRetries bounds consecutive reconnect attempts that
+// yield no events (0 = retry forever).
+func watch(base string, maxRetries int, bo jobs.Backoff, out io.Writer) error {
+	url := strings.TrimRight(base, "/") + "/v1/watch"
+	lastSeq := 0
+	failures := 0
+	for {
+		events, err := watchOnce(url, &lastSeq, out)
+		if errors.Is(err, errWatchFatal) {
+			return err
+		}
+		if events > 0 {
+			failures = 0
+		}
+		failures++
+		if maxRetries > 0 && failures > maxRetries {
+			if err == nil {
+				err = io.EOF
+			}
+			return fmt.Errorf("watch: giving up after %d reconnect attempts: %w", maxRetries, err)
+		}
+		delay := bo.Delay(0, failures)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "watch: disconnected (%v); reconnecting in %v\n", err, delay)
+		} else {
+			fmt.Fprintf(os.Stderr, "watch: stream ended; reconnecting in %v\n", delay)
+		}
+		time.Sleep(delay)
+	}
+}
+
+// watchOnce runs a single /v1/watch connection to its end and reports
+// how many repartition events arrived (including replayed duplicates —
+// a duplicate still proves a live stream).
+func watchOnce(url string, lastSeq *int, out io.Writer) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("%s answered %s", url, resp.Status)
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return 0, fmt.Errorf("%w: %v", errWatchFatal, err)
+		}
+		return 0, err
+	}
+	fmt.Fprintf(out, "watching %s\n", url)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	events := 0
+	var event string
+	var data strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, ":"):
+			// keep-alive comment
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data.WriteString(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if event == "repartition" && data.Len() > 0 {
+				events++
+				var ev server.RepartitionEvent
+				if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+					fmt.Fprintf(os.Stderr, "watch: undecodable event: %v\n", err)
+				} else if ev.Seq > *lastSeq {
+					*lastSeq = ev.Seq
+					printRepartition(out, ev)
+				}
+			}
+			event = ""
+			data.Reset()
+		}
+	}
+	return events, sc.Err()
+}
+
+// printRepartition renders one SSE event as a log line. The first frame
+// of a stream has no predecessor, so its ARI prints as a dash.
+func printRepartition(out io.Writer, ev server.RepartitionEvent) {
+	ari := "—"
+	if !math.IsNaN(ev.Frame.ARIvsPrev) {
+		ari = fmt.Sprintf("%.3f", ev.Frame.ARIvsPrev)
+	}
+	fmt.Fprintf(out, "seq=%-4d snapshot=%-4d k=%-3d ans=%.4f ari=%s path=%-7s density=%s\n",
+		ev.Seq, ev.Frame.Snapshot, ev.Frame.K, ev.Frame.Report.ANS, ari, ev.Frame.Path, ev.Density)
+}
+
+// jobRequest assembles the POST /v1/jobs document from the CLI flags:
+// the partition the run would have computed locally, or — with -autok —
+// the [2, kmax] sweep whose ANS minimum selects k.
+func jobRequest(net *roadnet.Network, scheme string, k, kmax int, autoK bool, stabEps float64, seed uint64, workers int) *server.JobSubmitRequest {
+	if autoK {
+		return &server.JobSubmitRequest{
+			Op:    "sweep",
+			Sweep: &server.SweepRequest{Network: net, KMin: 2, KMax: kmax, Scheme: scheme, Seed: seed, Workers: workers},
+		}
+	}
+	return &server.JobSubmitRequest{
+		Op:        "partition",
+		Partition: &server.PartitionRequest{Network: net, K: k, Scheme: scheme, StabilityEps: stabEps, Seed: seed, Workers: workers},
+	}
+}
+
+// submitJob posts the job and prints its id and poll URL; with -wait it
+// then polls in place until the job is terminal.
+func submitJob(base string, req *server.JobSubmitRequest, wait bool) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	base = strings.TrimRight(base, "/")
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: %s (%s)", resp.Status, readErr(resp.Body))
+	}
+	var sub server.JobSubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return fmt.Errorf("submit: undecodable response: %w", err)
+	}
+	pollURL := base + "/v1/jobs/" + sub.Job.ID
+	if loc := resp.Header.Get("Location"); loc != "" {
+		pollURL = base + loc
+	}
+	if sub.Deduplicated {
+		fmt.Printf("job %s already active for this request (deduplicated)\n", sub.Job.ID)
+	} else {
+		fmt.Printf("job %s accepted (%s, attempt limit %d)\n", sub.Job.ID, sub.Job.Op, sub.Job.MaxAttempts)
+	}
+	if wait {
+		return pollJob(pollURL, true)
+	}
+	fmt.Printf("poll with: roadpart -poll %s -wait\n", pollURL)
+	return nil
+}
+
+// pollJob prints a job's state; with wait it keeps polling until the
+// job is terminal, printing a line per state or attempt change, and
+// fetches the result of a done job.
+func pollJob(url string, wait bool) error {
+	url = strings.TrimRight(url, "/")
+	var last string
+	for {
+		st, err := getJobStatus(url)
+		if err != nil {
+			return err
+		}
+		line := fmt.Sprintf("job %s state=%s attempt=%d/%d", st.Job.ID, st.Job.State, st.Job.Attempt, st.Job.MaxAttempts)
+		if st.Job.Error != "" {
+			line += " error=" + strconv.Quote(st.Job.Error)
+		}
+		if st.Job.RetryInMs > 0 {
+			line += fmt.Sprintf(" retry_in=%dms", st.Job.RetryInMs)
+		}
+		if line != last {
+			fmt.Println(line)
+			last = line
+		}
+		switch {
+		case st.Job.State == jobs.StateDone:
+			if wait {
+				return printJobResult(url+"/result", st.Job.Op)
+			}
+			fmt.Printf("result: %s\n", url+"/result")
+			return nil
+		case st.Job.State.Terminal():
+			return fmt.Errorf("job %s ended %s: %s", st.Job.ID, st.Job.State, st.Job.Error)
+		case !wait:
+			return nil
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+}
+
+func getJobStatus(url string) (server.JobStatusResponse, error) {
+	var st server.JobStatusResponse
+	resp, err := http.Get(url)
+	if err != nil {
+		return st, fmt.Errorf("poll: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("poll: %s (%s)", resp.Status, readErr(resp.Body))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("poll: undecodable response: %w", err)
+	}
+	return st, nil
+}
+
+// printJobResult fetches a done job's body and prints the same summary
+// the local run would have: the body is byte-identical to the
+// synchronous endpoint's, so the server response types decode it.
+func printJobResult(url, op string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("result: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("result: %s (%s)", resp.Status, readErr(resp.Body))
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("result: %w", err)
+	}
+	switch op {
+	case "partition":
+		var pr server.PartitionResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			return fmt.Errorf("result: undecodable partition body: %w", err)
+		}
+		fmt.Printf("k=%d k'=%d quality: inter=%.4f intra=%.4f GDBI=%.4f ANS=%.4f\n",
+			pr.K, pr.KPrime, pr.Report.Inter, pr.Report.Intra, pr.Report.GDBI, pr.Report.ANS)
+	case "sweep":
+		var sw server.SweepResponse
+		if err := json.Unmarshal(body, &sw); err != nil {
+			return fmt.Errorf("result: undecodable sweep body: %w", err)
+		}
+		fmt.Printf("best k=%d by ANS minimum over %d sweep points\n", sw.BestK, len(sw.Points))
+	default:
+		fmt.Printf("%s\n", body)
+	}
+	return nil
+}
+
+// readErr condenses an error response body to a single log-friendly
+// line.
+func readErr(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 4096))
+	return strings.Join(strings.Fields(string(b)), " ")
+}

@@ -6,6 +6,11 @@
 //
 //	POST /v1/partition  — {"network": {...}, "k": 6, "scheme": "ASG"}
 //	POST /v1/sweep      — {"network": {...}, "k_min": 2, "k_max": 12}
+//	POST /v1/jobs       — {"op": "partition", "partition": {...}} → 202 +
+//	                      job id; a bounded worker pool runs the compute
+//	                      with retry/backoff and a dead-letter state
+//	GET  /v1/jobs/{id}  — poll the job state machine; DELETE cancels;
+//	                      GET /v1/jobs/{id}/result serves the finished body
 //	POST /v1/render     — {"network": {...}, "assign": [...]} → SVG
 //	POST /v1/densities  — {"network": {...}, "densities": [...]} then
 //	                      {"updates": [{"segment": 17, "density": 0.4}]};
@@ -38,9 +43,17 @@
 // startup, so a restarted daemon keeps its hot set (see docs/FORMATS.md
 // and docs/TUNING.md § Result caching).
 //
+// Async jobs are durable when -jobs-dir is set: submissions and state
+// transitions are written to a roadpart-jobs/v1 journal before they are
+// acknowledged, and a restarted daemon replays incomplete jobs. The pool
+// is tuned by -jobs-workers, -jobs-queue-depth, -jobs-max-attempts,
+// -jobs-attempt-timeout, -jobs-retry-base and -jobs-retry-max (see
+// docs/TUNING.md § Retries & backoff).
+//
 // SIGINT or SIGTERM triggers a graceful shutdown: the listener closes
-// immediately, in-flight requests get -drain to finish, then the process
-// exits.
+// immediately, in-flight requests get -drain to finish, the job
+// subsystem checkpoints interrupted attempts back into the journal, then
+// the process exits.
 package main
 
 import (
@@ -84,22 +97,46 @@ func main() {
 	// the first response byte for byte instead of recomputing.
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 256<<20, "in-memory result cache budget in bytes; 0 disables caching")
 	cacheDir := flag.String("cache-dir", "", "directory for roadpart-cache/v1 snapshots; warms the cache on restart (empty = memory only)")
+
+	// Async jobs: POST /v1/jobs runs partitions and sweeps through a
+	// bounded worker pool with retry/backoff, journaled for
+	// crash-recovery when -jobs-dir is set.
+	jobsDir := flag.String("jobs-dir", "", "directory for the roadpart-jobs/v1 journal; replays incomplete jobs on restart (empty = memory only, jobs die with the process)")
+	jobWorkers := flag.Int("jobs-workers", 2, "async job worker pool size")
+	jobQueueDepth := flag.Int("jobs-queue-depth", 64, "max queued+running async jobs before submissions shed with 429")
+	jobMaxAttempts := flag.Int("jobs-max-attempts", 3, "attempts per async job before it dead-letters as failed")
+	jobAttemptTimeout := flag.Duration("jobs-attempt-timeout", 0, "compute deadline per job attempt; 0 = inherit -request-timeout")
+	jobRetryBase := flag.Duration("jobs-retry-base", time.Second, "base delay between job attempts (doubles per attempt, jittered)")
+	jobRetryMax := flag.Duration("jobs-retry-max", time.Minute, "cap on the delay between job attempts")
 	flag.Parse()
 
 	linalg.SetWorkers(*workers)
-	handler, err := server.NewChecked(server.Config{
-		Workers:        *workers,
-		DefaultTimeout: *requestTimeout,
-		MaxTimeout:     *maxRequestTimeout,
-		MaxInFlight:    *maxInFlight,
-		MaxQueue:       *maxQueue,
-		QueueWait:      *queueWait,
-		CacheMaxBytes:  *cacheMaxBytes,
-		CacheDir:       *cacheDir,
+	svc, err := server.NewService(server.Config{
+		Workers:           *workers,
+		DefaultTimeout:    *requestTimeout,
+		MaxTimeout:        *maxRequestTimeout,
+		MaxInFlight:       *maxInFlight,
+		MaxQueue:          *maxQueue,
+		QueueWait:         *queueWait,
+		CacheMaxBytes:     *cacheMaxBytes,
+		CacheDir:          *cacheDir,
+		JobDir:            *jobsDir,
+		JobWorkers:        *jobWorkers,
+		JobQueueDepth:     *jobQueueDepth,
+		JobMaxAttempts:    *jobMaxAttempts,
+		JobAttemptTimeout: *jobAttemptTimeout,
+		JobRetryBase:      *jobRetryBase,
+		JobRetryMax:       *jobRetryMax,
 	})
 	if err != nil {
 		log.Fatalf("roadpartd: %v", err)
 	}
+	if *jobsDir == "" {
+		log.Printf("roadpartd jobs are memory-only (set -jobs-dir for a crash-recovery journal)")
+	} else {
+		log.Printf("roadpartd journaling jobs under %s", *jobsDir)
+	}
+	var handler http.Handler = svc
 	if *withPprof {
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
@@ -141,6 +178,12 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("roadpartd shutdown: %v", err)
 			os.Exit(1)
+		}
+		// Drain the job pool: interrupted attempts checkpoint back into
+		// the journal so a restarted daemon re-runs them without burning
+		// their retry budget.
+		if err := svc.Close(ctx); err != nil {
+			log.Printf("roadpartd job drain: %v", err)
 		}
 		// Shutdown makes ListenAndServe return ErrServerClosed; collect it
 		// so the serving goroutine finishes before we exit.

@@ -1,0 +1,83 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministic pins the core contract: the schedule is a
+// pure function of (Seed, stream, attempt). Two separately constructed
+// policies with the same seed agree exactly; changing any input changes
+// the schedule.
+func TestBackoffDeterministic(t *testing.T) {
+	a := Backoff{Base: 10 * time.Millisecond, Max: time.Second, Seed: 42}
+	b := Backoff{Base: 10 * time.Millisecond, Max: time.Second, Seed: 42}
+	for stream := uint64(0); stream < 4; stream++ {
+		for attempt := 1; attempt <= 10; attempt++ {
+			if got, want := a.Delay(stream, attempt), b.Delay(stream, attempt); got != want {
+				t.Fatalf("Delay(%d,%d): %v vs %v from identical policies", stream, attempt, got, want)
+			}
+		}
+	}
+	if a.Delay(1, 1) == a.Delay(2, 1) && a.Delay(1, 2) == a.Delay(2, 2) && a.Delay(1, 3) == a.Delay(2, 3) {
+		t.Fatal("streams 1 and 2 produced identical schedules; jitter is not stream-keyed")
+	}
+	c := Backoff{Base: 10 * time.Millisecond, Max: time.Second, Seed: 43}
+	if a.Delay(1, 1) == c.Delay(1, 1) && a.Delay(1, 2) == c.Delay(1, 2) && a.Delay(1, 3) == c.Delay(1, 3) {
+		t.Fatal("seeds 42 and 43 produced identical schedules; jitter is not seed-keyed")
+	}
+}
+
+// TestBackoffBounds checks every delay stays inside the jitter envelope
+// of the capped nominal value.
+func TestBackoffBounds(t *testing.T) {
+	b := Backoff{Base: 5 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: 0.2, Seed: 7}
+	for attempt := 1; attempt <= 20; attempt++ {
+		nominal := float64(b.Base)
+		for i := 1; i < attempt; i++ {
+			nominal *= b.Factor
+		}
+		if nominal > float64(b.Max) {
+			nominal = float64(b.Max)
+		}
+		d := b.Delay(99, attempt)
+		if d > b.Max {
+			t.Fatalf("attempt %d: delay %v exceeds hard cap %v", attempt, d, b.Max)
+		}
+		if float64(d) < nominal*(1-b.Jitter)-1 {
+			t.Fatalf("attempt %d: delay %v below jitter floor of nominal %v", attempt, d, time.Duration(nominal))
+		}
+		if float64(d) > nominal*(1+b.Jitter)+1 {
+			t.Fatalf("attempt %d: delay %v above jitter ceiling of nominal %v", attempt, d, time.Duration(nominal))
+		}
+	}
+}
+
+// TestBackoffGrowthUnjittered pins the exact capped-exponential
+// schedule with jitter disabled.
+func TestBackoffGrowthUnjittered(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: 10 * time.Second, Factor: 2, Jitter: -1}
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second, 10 * time.Second, 10 * time.Second}
+	for i, w := range want {
+		if got := b.Delay(0, i+1); got != w {
+			t.Fatalf("attempt %d: got %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestBackoffDefaults checks the zero value selects the documented
+// policy (1s base, 1m cap, factor 2, 20% jitter) and never returns a
+// non-positive delay.
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	d1 := b.Delay(0, 1)
+	if d1 < 800*time.Millisecond || d1 > 1200*time.Millisecond {
+		t.Fatalf("default first delay %v outside 1s ± 20%%", d1)
+	}
+	if d := b.Delay(0, 30); d > time.Minute {
+		t.Fatalf("default delay %v exceeds the 1m cap", d)
+	}
+	if d := b.Delay(0, 0); d <= 0 {
+		t.Fatalf("attempt 0 clamps to attempt 1, got %v", d)
+	}
+}

@@ -1,0 +1,276 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"roadpart/internal/resultcache"
+)
+
+// chaosStore stands in for the content-addressed result cache: bodies
+// persist across manager "restarts" (the store outlives each
+// generation, like the cache directory outlives the daemon), and it
+// counts how many times each fingerprint was computed to completion —
+// the never-twice invariant is an assertion on that counter.
+type chaosStore struct {
+	mu          sync.Mutex
+	bodies      map[resultcache.Key][]byte
+	completions map[resultcache.Key]int
+}
+
+func newChaosStore() *chaosStore {
+	return &chaosStore{bodies: make(map[resultcache.Key][]byte), completions: make(map[resultcache.Key]int)}
+}
+
+func (s *chaosStore) Run(ctx context.Context, spec Spec) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if body, ok := s.bodies[spec.Key]; ok {
+		return body, nil // cache hit: the work is NOT redone
+	}
+	body := []byte(fmt.Sprintf("result-%016x", spec.Key.Sum))
+	s.bodies[spec.Key] = body
+	s.completions[spec.Key]++
+	return body, nil
+}
+
+func (s *chaosStore) completed(key resultcache.Key) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completions[key]
+}
+
+// chaosPlan is the deterministic compute-failure schedule shared by
+// both generations: it depends only on (fingerprint, attempt), so a
+// replayed attempt fails exactly like the interrupted one did.
+func chaosPlan(spec Spec, attempt int) error {
+	switch spec.Key.Sum {
+	case 0xb: // flaky: first attempt fails, second succeeds
+		if attempt == 1 {
+			return errors.New("injected flaky solve")
+		}
+	case 0xc: // hopeless: every attempt fails → dead letter
+		return errors.New("injected permanent failure")
+	}
+	return nil
+}
+
+var chaosSpecs = []Spec{
+	{Op: "partition", Key: resultcache.Key{Op: "partition", Sum: 0xa}, Payload: []byte(`{"job":"clean"}`)},
+	{Op: "partition", Key: resultcache.Key{Op: "partition", Sum: 0xb}, Payload: []byte(`{"job":"flaky"}`)},
+	{Op: "sweep", Key: resultcache.Key{Op: "sweep", Sum: 0xc}, Payload: []byte(`{"job":"hopeless"}`)},
+}
+
+func chaosConfig(dir string, hooks *Hooks) Config {
+	return Config{
+		Workers:     2,
+		Dir:         dir,
+		NoSync:      true,
+		Retry:       Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, Jitter: -1, Seed: 1},
+		MaxAttempts: 3,
+		Hooks:       hooks,
+	}
+}
+
+// quiesce waits until every acked job is terminal or the manager
+// crashed (after a crash nothing more will happen, by design).
+func quiesce(t *testing.T, m *Manager, acked []string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.Crashed() {
+			return
+		}
+		allDone := true
+		for _, id := range acked {
+			v, err := m.Get(id)
+			if err != nil || !v.State.Terminal() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("workload did not quiesce")
+}
+
+// runChaosGeneration opens a manager on dir, submits the workload and
+// runs it to quiescence (or injected crash), then kills the process
+// abruptly. It returns the ids that were acknowledged.
+func runChaosGeneration(t *testing.T, dir string, store *chaosStore, crashAt int) (acked map[resultcache.Key]string) {
+	t.Helper()
+	hooks := &Hooks{BeforeCompute: chaosPlan}
+	if crashAt >= 0 {
+		hooks.BeforeAppend = func(n int, rec *Record) error {
+			if n >= crashAt {
+				return ErrInjectedCrash
+			}
+			return nil
+		}
+	}
+	m, err := Open(chaosConfig(dir, hooks), store)
+	if err != nil {
+		t.Fatalf("open (crashAt=%d): %v", crashAt, err)
+	}
+	acked = make(map[resultcache.Key]string)
+	var ids []string
+	for _, spec := range chaosSpecs {
+		v, _, err := m.Submit(spec)
+		if err != nil {
+			// Not acknowledged: the caller got an error, so losing this
+			// job is correct behavior, not data loss.
+			continue
+		}
+		acked[spec.Key] = v.ID
+		ids = append(ids, v.ID)
+	}
+	quiesce(t, m, ids)
+	m.Kill()
+	return acked
+}
+
+// TestChaosCrashAtEveryJournalBoundary is the tentpole invariant
+// check. For a crash injected before EVERY journal record boundary
+// (plus a no-crash control), a restarted manager must:
+//
+//   - know every job that was acknowledged before the crash (nothing
+//     acked is ever lost),
+//   - drive each one to its deterministic terminal state, and
+//   - never compute any fingerprint to completion twice — re-runs that
+//     lost only their trailing "done" record converge via the
+//     content-addressed store.
+func TestChaosCrashAtEveryJournalBoundary(t *testing.T) {
+	// Measure the journal length of an undisturbed run to bound the
+	// crash-point sweep.
+	probeDir := t.TempDir()
+	runChaosGeneration(t, probeDir, newChaosStore(), -1)
+	recs, _, err := replayJournal(probeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(recs)
+	if total < 9 { // 3 submits + at least 2 transitions per job
+		t.Fatalf("clean run journaled only %d records; workload too small to exercise boundaries", total)
+	}
+
+	for crashAt := 0; crashAt <= total; crashAt++ {
+		crashAt := crashAt
+		t.Run(fmt.Sprintf("crash_before_record_%02d", crashAt), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			store := newChaosStore()
+
+			acked := runChaosGeneration(t, dir, store, crashAt)
+
+			// Generation 2: same journal dir, same store, same failure
+			// plan, no crash — the "restarted daemon".
+			m, err := Open(chaosConfig(dir, &Hooks{BeforeCompute: chaosPlan}), store)
+			if err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+			defer m.Kill()
+
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			for key, id := range acked {
+				v, err := m.Wait(ctx, id)
+				if err != nil {
+					t.Fatalf("acked job %s (key %016x) lost across restart: %v", id, key.Sum, err)
+				}
+				want := StateDone
+				if key.Sum == 0xc {
+					want = StateFailed
+				}
+				if v.State != want {
+					t.Errorf("job %s: terminal state %s, want %s (attempt %d, err %q)", id, v.State, want, v.Attempt, v.Error)
+				}
+				if want == StateFailed && v.Attempt != 3 {
+					t.Errorf("dead letter %s used %d attempts, want exactly 3", id, v.Attempt)
+				}
+			}
+			for _, spec := range chaosSpecs {
+				if n := store.completed(spec.Key); n > 1 {
+					t.Errorf("fingerprint %016x computed to completion %d times; never-twice violated", spec.Key.Sum, n)
+				}
+				if _, ok := acked[spec.Key]; ok && spec.Key.Sum != 0xc {
+					if n := store.completed(spec.Key); n != 1 {
+						t.Errorf("acked fingerprint %016x completed %d times, want exactly 1", spec.Key.Sum, n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChaosSubmitNeverAcksUnjournaled pins the ack contract from the
+// other side: when the journal write fails, Submit must return an
+// error (no ack), and the job must not be silently queued anyway.
+func TestChaosSubmitNeverAcksUnjournaled(t *testing.T) {
+	dir := t.TempDir()
+	store := newChaosStore()
+	m, err := Open(chaosConfig(dir, &Hooks{BeforeAppend: func(n int, rec *Record) error {
+		return ErrInjectedCrash
+	}}), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Kill()
+	if _, _, err := m.Submit(chaosSpecs[0]); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("submit with dead journal: %v", err)
+	}
+	if !m.Crashed() {
+		t.Fatal("manager should report the crash")
+	}
+	if m.Active() != 0 {
+		t.Fatalf("unacked job leaked into the queue: %d active", m.Active())
+	}
+	if n := store.completed(chaosSpecs[0].Key); n != 0 {
+		t.Fatalf("unacked job ran %d times", n)
+	}
+}
+
+// TestChaosJournalFailureDoesNotWedgeRetries injects a transient
+// journal write failure on a mid-life record and checks the job still
+// reaches its terminal state: durability degrades, liveness does not.
+func TestChaosJournalFailureDoesNotWedgeRetries(t *testing.T) {
+	dir := t.TempDir()
+	store := newChaosStore()
+	var failed atomic.Bool
+	m, err := Open(chaosConfig(dir, &Hooks{
+		BeforeCompute: chaosPlan,
+		BeforeAppend: func(n int, rec *Record) error {
+			if rec.Type == "state" && rec.State == StateRetrying && failed.CompareAndSwap(false, true) {
+				return errors.New("injected journal write failure")
+			}
+			return nil
+		},
+	}), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Kill()
+	v, _, err := m.Submit(chaosSpecs[1]) // flaky: fails attempt 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	got, err := m.Wait(ctx, v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone || got.Attempt != 2 {
+		t.Fatalf("final view: %+v", got)
+	}
+	if !failed.Load() {
+		t.Fatal("injection never fired; test is vacuous")
+	}
+}

@@ -1,0 +1,176 @@
+// Package jobs is the durable async job subsystem behind POST /v1/jobs:
+// a bounded worker pool draining a queue of partition/sweep jobs, with
+// per-attempt retry under capped exponential backoff (deterministic
+// seeded jitter), a terminal dead-letter state after the attempt budget,
+// and a write-ahead journal (roadpart-jobs/v1) that makes submissions
+// and state transitions survive a daemon crash. Partitioning a real
+// metro is minutes-long work — HOSER's Beijing run in SNIPPETS.md takes
+// ~87 s on 1.24M segments even after its adjacency-list rewrite — so a
+// restart or one flaky solve must not silently lose a submitted job.
+//
+// The contract with callers:
+//
+//   - Submit journals the job BEFORE acknowledging it. An acknowledged
+//     job is therefore durable: on restart the Manager replays the
+//     journal, re-enqueues every incomplete job, and keeps terminal
+//     jobs queryable.
+//   - Results are content-addressed. The Runner a Manager executes is
+//     expected to route through internal/resultcache (the server's
+//     does), so a job re-run after a crash that lost only its final
+//     "done" record fetches the already-stored body instead of
+//     computing it a second time — a job is never run twice to
+//     completion.
+//   - Within one fingerprint (resultcache.Key), active jobs are
+//     deduplicated: submitting work that an incomplete job already
+//     covers returns that job instead of queueing a twin.
+//
+// The state machine, exposed verbatim in the HTTP API:
+//
+//	queued → running → done
+//	                 ↘ retrying → running (after backoff)
+//	                 ↘ failed             (dead letter, attempts exhausted)
+//	queued | retrying | running → cancelled
+//
+// Fault injection (Hooks) exists so the chaos suite can kill the
+// journal between any two records, fail computes, slow solves and fail
+// journal writes deterministically; production code never sets hooks.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"roadpart/internal/resultcache"
+)
+
+// State is one node of the job state machine.
+type State string
+
+const (
+	// StateQueued means the job waits for a worker (first attempt or
+	// re-enqueued by replay/drain).
+	StateQueued State = "queued"
+	// StateRunning means a worker is executing an attempt right now.
+	StateRunning State = "running"
+	// StateRetrying means the last attempt failed and the next one is
+	// scheduled after a backoff delay.
+	StateRetrying State = "retrying"
+	// StateDone is terminal success; the result landed in the result
+	// cache under the job's key.
+	StateDone State = "done"
+	// StateFailed is the terminal dead-letter state: every attempt
+	// failed. The last error is kept on the job.
+	StateFailed State = "failed"
+	// StateCancelled is terminal: the client withdrew the job before it
+	// completed.
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// valid reports whether s is a known state (journal records are
+// untrusted input on replay).
+func (s State) valid() bool {
+	switch s {
+	case StateQueued, StateRunning, StateRetrying, StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// Spec is everything needed to execute — and, after a restart, to
+// re-execute — one job. It is journaled verbatim with the submission.
+type Spec struct {
+	// Op is the resultcache keyspace this job computes for ("partition",
+	// "sweep").
+	Op string
+	// Key is the content fingerprint of the work; results land in the
+	// result cache under it, and active jobs are deduplicated by it.
+	Key resultcache.Key
+	// Tag is the resultcache invalidation tag for the (structure,
+	// density) generation the job computes from; 0 = untagged.
+	Tag uint64
+	// Payload is the original request document. The Runner decodes it
+	// per Op; replay hands it back unchanged.
+	Payload []byte
+}
+
+// View is the externally visible snapshot of one job, serialized on
+// GET /v1/jobs/{id}.
+type View struct {
+	ID          string `json:"id"`
+	Op          string `json:"op"`
+	Key         string `json:"key"`
+	State       State  `json:"state"`
+	Attempt     int    `json:"attempt"`
+	MaxAttempts int    `json:"max_attempts"`
+	// Error is the most recent attempt failure (kept on retrying,
+	// failed and cancelled jobs).
+	Error string `json:"error,omitempty"`
+	// RetryInMs is the remaining backoff delay before the next attempt,
+	// present only while retrying.
+	RetryInMs int64 `json:"retry_in_ms,omitempty"`
+	// SubmittedAt is the submission wall-clock time (journaled, so it
+	// survives restarts).
+	SubmittedAt time.Time `json:"submitted_at"`
+	UpdatedAt   time.Time `json:"updated_at"`
+}
+
+// Manager errors mapped to HTTP statuses by the serving layer.
+var (
+	// ErrQueueFull rejects a submission when the active-job bound is
+	// reached (HTTP 429).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrDraining rejects a submission while the manager checkpoints
+	// for shutdown (HTTP 503).
+	ErrDraining = errors.New("jobs: manager draining")
+	// ErrUnknownJob reports a job id with no live or journaled record.
+	ErrUnknownJob = errors.New("jobs: unknown job")
+)
+
+// ErrInjectedCrash is returned by fault-injection hooks to simulate the
+// process dying at an exact point: the journal record it fails is never
+// written, every later append fails the same way, and the manager stops
+// making progress — exactly what a killed process would leave behind.
+// The chaos suite then re-opens the journal directory as a "restarted"
+// manager and asserts nothing acknowledged was lost.
+var ErrInjectedCrash = errors.New("jobs: injected crash")
+
+// Hooks are deterministic, test-only fault injectors. All fields are
+// optional; a nil *Hooks (the production configuration) injects
+// nothing. Hooks run synchronously on the worker/journal goroutines, so
+// whatever they return happens at an exact, reproducible point.
+type Hooks struct {
+	// BeforeAppend runs before journal record n (0-based, counted over
+	// the manager's lifetime, compaction excluded) is written. A non-nil
+	// error fails that write; ErrInjectedCrash additionally kills the
+	// journal for good.
+	BeforeAppend func(n int, rec *Record) error
+	// BeforeCompute runs at the start of attempt (1-based) of a job; a
+	// non-nil error fails the attempt without calling the Runner.
+	BeforeCompute func(spec Spec, attempt int) error
+	// ComputeDelay, when non-nil, stalls the attempt for the returned
+	// duration before the Runner is called (slow-solve injection). The
+	// delay respects the attempt context, so deadlines and cancellation
+	// still fire.
+	ComputeDelay func(spec Spec, attempt int) time.Duration
+}
+
+// Runner executes one attempt of a job and returns the serialized
+// result body. Implementations must be idempotent per Spec.Key —
+// content-addressed, like the server's resultcache-backed runner — so a
+// replayed job re-running after a crash converges on the same body
+// without completing the work twice.
+type Runner interface {
+	Run(ctx context.Context, spec Spec) ([]byte, error)
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(ctx context.Context, spec Spec) ([]byte, error)
+
+// Run implements Runner.
+func (f RunnerFunc) Run(ctx context.Context, spec Spec) ([]byte, error) { return f(ctx, spec) }

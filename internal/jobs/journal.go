@@ -1,0 +1,258 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"roadpart/internal/obs"
+)
+
+// Schema versions the journal format, following the roadpart-cache/v1
+// convention: every record carries it, and replay skips records
+// claiming any other schema (see docs/FORMATS.md § Job journal).
+const Schema = "roadpart-jobs/v1"
+
+// journalFile is the single append-only log inside the journal
+// directory. Compaction replaces it atomically (temp + rename), so a
+// crash mid-compaction leaves the previous journal intact.
+const journalFile = "journal.jsonl"
+
+// Record is one journal entry: a submission (type "submit", carrying
+// the full Spec so replay can re-execute the job) or a state transition
+// (type "state"). One JSON document per line; a torn final line — the
+// signature of a crash mid-write — is skipped on replay, never fatal.
+type Record struct {
+	Schema string `json:"schema"`
+	Type   string `json:"type"` // "submit" | "state"
+	ID     string `json:"id"`
+
+	// Submission fields (type "submit").
+	Seq         int             `json:"seq,omitempty"`
+	Op          string          `json:"op,omitempty"`
+	Key         string          `json:"key,omitempty"` // %016x of Spec.Key.Sum
+	Tag         string          `json:"tag,omitempty"` // %016x, omitted when 0
+	Payload     json.RawMessage `json:"payload,omitempty"`
+	MaxAttempts int             `json:"max_attempts,omitempty"`
+	SubmittedMs int64           `json:"submitted_ms,omitempty"` // unix ms
+
+	// Transition fields (type "state").
+	State   State  `json:"state,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Journal metrics (see docs/API.md § Metrics).
+var (
+	journalRecordsHelp = "Job-journal records appended, by record type."
+	journalErrors      = obs.Default().Counter("roadpart_jobs_journal_errors_total",
+		"Job-journal appends that failed (durability degraded for the affected transition; submissions fail instead of acknowledging).")
+	journalSkipped = obs.Default().Counter("roadpart_jobs_journal_skipped_total",
+		"Journal records skipped during replay because they were truncated, corrupt, or carried an unknown schema.")
+)
+
+func countRecord(typ string) {
+	obs.Default().Counter("roadpart_jobs_journal_records_total", journalRecordsHelp, "type", typ).Inc()
+}
+
+// journal is the write-ahead log. A nil *journal (Manager without a
+// Dir) accepts every append as a no-op: the manager then runs
+// memory-only, losing jobs on restart, which the daemon logs at start.
+type journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	sync  bool
+	hooks *Hooks
+	n     int  // records appended this session (hook index)
+	dead  bool // ErrInjectedCrash happened; all appends fail
+}
+
+// openJournal prepares dir and opens the log for appending.
+func openJournal(dir string, syncEach bool, hooks *Hooks) (*journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: preparing journal dir: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: opening journal: %w", err)
+	}
+	return &journal{f: f, path: path, sync: syncEach, hooks: hooks}, nil
+}
+
+// append writes one record durably. The record is stamped with the
+// schema here so callers cannot forget it. On any error the record is
+// not (observably) in the log; ErrInjectedCrash additionally kills the
+// journal so every later append fails the same way — the simulated
+// process is dead.
+func (j *journal) append(rec Record) error {
+	if j == nil {
+		return nil
+	}
+	rec.Schema = Schema
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dead {
+		return ErrInjectedCrash
+	}
+	if j.hooks != nil && j.hooks.BeforeAppend != nil {
+		if err := j.hooks.BeforeAppend(j.n, &rec); err != nil {
+			if err == ErrInjectedCrash {
+				j.dead = true
+			}
+			journalErrors.Inc()
+			return err
+		}
+	}
+	doc, err := json.Marshal(rec)
+	if err != nil {
+		journalErrors.Inc()
+		return fmt.Errorf("jobs: encoding journal record: %w", err)
+	}
+	if _, err := j.f.Write(append(doc, '\n')); err != nil {
+		journalErrors.Inc()
+		return fmt.Errorf("jobs: appending journal record: %w", err)
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			journalErrors.Inc()
+			return fmt.Errorf("jobs: syncing journal: %w", err)
+		}
+	}
+	j.n++
+	countRecord(rec.Type)
+	return nil
+}
+
+// close releases the log file.
+func (j *journal) close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// replayJournal reads every decodable record from dir's log in append
+// order. Truncated or corrupt records — including a torn final line
+// from a crash mid-write — are skipped and counted, never fatal: one
+// bad record must not take down a restarting daemon. A missing journal
+// reads as empty (a cold start).
+func replayJournal(dir string) (recs []Record, skipped int, err error) {
+	f, err := os.Open(filepath.Join(dir, journalFile))
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("jobs: opening journal for replay: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 256<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil || rec.Schema != Schema || rec.ID == "" {
+			skipped++
+			journalSkipped.Inc()
+			continue
+		}
+		switch rec.Type {
+		case "submit":
+			if rec.Op == "" || len(rec.Key) != 16 {
+				skipped++
+				journalSkipped.Inc()
+				continue
+			}
+		case "state":
+			if !rec.State.valid() {
+				skipped++
+				journalSkipped.Inc()
+				continue
+			}
+		default:
+			skipped++
+			journalSkipped.Inc()
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		// An unreadable tail (e.g. a line over the buffer cap) loses the
+		// records after it but keeps everything already decoded.
+		skipped++
+		journalSkipped.Inc()
+	}
+	return recs, skipped, nil
+}
+
+// compact atomically replaces the log with recs (temp file + rename,
+// the resultcache snapshot discipline): either the old journal or the
+// compacted one exists, never a torn hybrid. The manager compacts once
+// per startup, folding each job's record history into submit + current
+// state so the log stays proportional to the number of retained jobs.
+func (j *journal) compact(recs []Record) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dead {
+		return ErrInjectedCrash
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, ".journal-*.tmp")
+	if err != nil {
+		return fmt.Errorf("jobs: compacting journal: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	for _, rec := range recs {
+		rec.Schema = Schema
+		doc, err := json.Marshal(rec)
+		if err == nil {
+			_, err = w.Write(append(doc, '\n'))
+		}
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("jobs: compacting journal: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: compacting journal: %w", err)
+	}
+	if j.sync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("jobs: compacting journal: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: compacting journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: compacting journal: %w", err)
+	}
+	// Reopen the append handle on the new file; the old descriptor
+	// points at the unlinked pre-compaction log.
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: reopening compacted journal: %w", err)
+	}
+	j.f.Close()
+	j.f = f
+	return nil
+}

@@ -1,0 +1,196 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJournal(t *testing.T, dir, content string) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, journalFile), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func submitLine(id string, seq int) string {
+	return fmt.Sprintf(`{"schema":%q,"type":"submit","id":%q,"seq":%d,"op":"partition","key":"00000000000000aa","max_attempts":3,"submitted_ms":1700000000000}`,
+		Schema, id, seq)
+}
+
+func stateLine(id string, st State, attempt int) string {
+	return fmt.Sprintf(`{"schema":%q,"type":"state","id":%q,"state":%q,"attempt":%d}`, Schema, id, st, attempt)
+}
+
+// TestJournalRoundTrip appends records through the journal and reads
+// them back through replay.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []Record{
+		{Type: "submit", ID: "j1", Seq: 1, Op: "partition", Key: "00000000000000aa", MaxAttempts: 3, SubmittedMs: 1},
+		{Type: "state", ID: "j1", State: StateRunning, Attempt: 1},
+		{Type: "state", ID: "j1", State: StateDone, Attempt: 1},
+	}
+	for _, rec := range in {
+		if err := j.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	out, skipped, err := replayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped %d records in a clean journal", skipped)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("replayed %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Type != in[i].Type || out[i].ID != in[i].ID || out[i].State != in[i].State || out[i].Attempt != in[i].Attempt {
+			t.Fatalf("record %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+// TestJournalReplaySkipsBadRecords is the table-driven corruption
+// suite: damaged or foreign records — most importantly the torn final
+// line a crash mid-write leaves — are skipped, never fatal, and every
+// decodable record around them survives.
+func TestJournalReplaySkipsBadRecords(t *testing.T) {
+	good := submitLine("j1", 1)
+	cases := []struct {
+		name        string
+		content     string
+		wantRecs    int
+		wantSkipped int
+	}{
+		{"missing file", "", 0, 0}, // sentinel: dir left empty below
+		{"empty file", "\n", 0, 0},
+		{"torn final line", good + "\n" + `{"schema":"roadpart-jobs/v1","type":"sub`, 1, 1},
+		{"binary garbage line", good + "\n\x00\xff\x1bnot json\n" + stateLine("j1", StateRunning, 1) + "\n", 2, 1},
+		{"wrong schema", good + "\n" + strings.Replace(stateLine("j1", StateRunning, 1), "roadpart-jobs/v1", "roadpart-jobs/v999", 1) + "\n", 1, 1},
+		{"unknown record type", good + "\n" + `{"schema":"roadpart-jobs/v1","type":"mystery","id":"j1"}` + "\n", 1, 1},
+		{"missing id", good + "\n" + `{"schema":"roadpart-jobs/v1","type":"state","state":"done"}` + "\n", 1, 1},
+		{"invalid state value", good + "\n" + `{"schema":"roadpart-jobs/v1","type":"state","id":"j1","state":"exploded"}` + "\n", 1, 1},
+		{"submit with short key", `{"schema":"roadpart-jobs/v1","type":"submit","id":"j2","op":"partition","key":"abc"}` + "\n" + good + "\n", 1, 1},
+		{"corruption mid-file keeps later records", good + "\n{{{\n" + stateLine("j1", StateDone, 1) + "\n", 2, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if tc.content != "" {
+				writeJournal(t, dir, tc.content)
+			}
+			recs, skipped, err := replayJournal(dir)
+			if err != nil {
+				t.Fatalf("replay must not fail on damaged journals: %v", err)
+			}
+			if len(recs) != tc.wantRecs || skipped != tc.wantSkipped {
+				t.Fatalf("got %d records / %d skipped, want %d / %d", len(recs), skipped, tc.wantRecs, tc.wantSkipped)
+			}
+		})
+	}
+}
+
+// TestJournalCompact checks compaction atomically replaces history and
+// that the reopened handle keeps appending to the new file.
+func TestJournalCompact(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.append(Record{Type: "state", ID: "j1", State: StateRunning, Attempt: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	folded := []Record{
+		{Type: "submit", ID: "j1", Seq: 1, Op: "partition", Key: "00000000000000aa", MaxAttempts: 3, SubmittedMs: 1},
+		{Type: "state", ID: "j1", State: StateRetrying, Attempt: 5},
+	}
+	if err := j.compact(folded); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(Record{Type: "state", ID: "j1", State: StateDone, Attempt: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := replayJournal(dir)
+	if err != nil || skipped != 0 {
+		t.Fatalf("replay after compact: err=%v skipped=%d", err, skipped)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records after compact+append, want 3", len(recs))
+	}
+	if recs[2].State != StateDone || recs[2].Attempt != 6 {
+		t.Fatalf("post-compact append lost: %+v", recs[2])
+	}
+}
+
+// TestJournalAppendHooks checks the two failure modes fault injection
+// distinguishes: a plain write failure is transient (the next append
+// succeeds), while ErrInjectedCrash kills the journal permanently.
+func TestJournalAppendHooks(t *testing.T) {
+	dir := t.TempDir()
+	fail := errors.New("disk on fire")
+	failedOnce := false
+	hooks := &Hooks{BeforeAppend: func(n int, rec *Record) error {
+		switch {
+		case n == 1 && !failedOnce:
+			failedOnce = true
+			return fail
+		case n == 3:
+			return ErrInjectedCrash
+		}
+		return nil
+	}}
+	j, err := openJournal(dir, false, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Type: "state", ID: "j1", State: StateRunning, Attempt: 1}
+	if err := j.append(rec); err != nil { // n=0
+		t.Fatalf("append 0: %v", err)
+	}
+	if err := j.append(rec); !errors.Is(err, fail) { // n=1: injected write failure
+		t.Fatalf("append 1: got %v, want injected failure", err)
+	}
+	// A failed append does not consume a record index; n=1 retries.
+	if err := j.append(rec); err != nil {
+		t.Fatalf("append after transient failure: %v", err)
+	}
+	if err := j.append(rec); err != nil { // n=2
+		t.Fatalf("append 2: %v", err)
+	}
+	if err := j.append(rec); !errors.Is(err, ErrInjectedCrash) { // n=3: crash
+		t.Fatalf("append 3: got %v, want ErrInjectedCrash", err)
+	}
+	if err := j.append(rec); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("append after crash must keep failing, got %v", err)
+	}
+	j.close()
+	recs, _, err := replayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("journal holds %d records, want exactly the 3 acknowledged appends", len(recs))
+	}
+}

@@ -1,0 +1,391 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"roadpart/internal/resultcache"
+)
+
+// fastRetry keeps test backoff in the microsecond range while staying
+// deterministic.
+var fastRetry = Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, Jitter: -1, Seed: 1}
+
+func testSpec(op string, sum uint64) Spec {
+	return Spec{Op: op, Key: resultcache.Key{Op: op, Sum: sum}, Payload: []byte(`{"k":4}`)}
+}
+
+func openTest(t *testing.T, cfg Config, runner Runner) *Manager {
+	t.Helper()
+	if cfg.Retry == (Backoff{}) {
+		cfg.Retry = fastRetry
+	}
+	cfg.NoSync = true
+	m, err := Open(cfg, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	})
+	return m
+}
+
+func waitTerminal(t *testing.T, m *Manager, id string) View {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	v, err := m.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("waiting for %s: %v", id, err)
+	}
+	return v
+}
+
+// TestJobLifecycleDone walks the happy path: submit → queued → done,
+// with the result retained in memory.
+func TestJobLifecycleDone(t *testing.T) {
+	m := openTest(t, Config{}, RunnerFunc(func(ctx context.Context, spec Spec) ([]byte, error) {
+		return []byte("body-" + spec.Op), nil
+	}))
+	v, deduped, err := m.Submit(testSpec("partition", 0xaa))
+	if err != nil || deduped {
+		t.Fatalf("submit: err=%v deduped=%v", err, deduped)
+	}
+	if v.State != StateQueued || v.Attempt != 0 || v.MaxAttempts != 3 {
+		t.Fatalf("fresh view: %+v", v)
+	}
+	if !strings.Contains(v.ID, fmt.Sprintf("%016x", uint64(0xaa))) {
+		t.Fatalf("job id %q does not embed the fingerprint", v.ID)
+	}
+	done := waitTerminal(t, m, v.ID)
+	if done.State != StateDone || done.Attempt != 1 || done.Error != "" {
+		t.Fatalf("final view: %+v", done)
+	}
+	body, ok := m.Result(v.ID)
+	if !ok || string(body) != "body-partition" {
+		t.Fatalf("result: %q ok=%v", body, ok)
+	}
+}
+
+// TestJobRetryThenSucceed injects one compute failure and checks the
+// job recovers on attempt 2.
+func TestJobRetryThenSucceed(t *testing.T) {
+	m := openTest(t, Config{
+		Hooks: &Hooks{BeforeCompute: func(spec Spec, attempt int) error {
+			if attempt == 1 {
+				return errors.New("flaky solve")
+			}
+			return nil
+		}},
+	}, RunnerFunc(func(ctx context.Context, spec Spec) ([]byte, error) { return []byte("ok"), nil }))
+	v, _, err := m.Submit(testSpec("partition", 0xb0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitTerminal(t, m, v.ID)
+	if done.State != StateDone || done.Attempt != 2 {
+		t.Fatalf("final view: %+v", done)
+	}
+}
+
+// TestJobDeadLetter exhausts the attempt budget and checks the
+// terminal failed state keeps the last error.
+func TestJobDeadLetter(t *testing.T) {
+	var attempts atomic.Int64
+	m := openTest(t, Config{MaxAttempts: 3}, RunnerFunc(func(ctx context.Context, spec Spec) ([]byte, error) {
+		attempts.Add(1)
+		return nil, fmt.Errorf("solver diverged on attempt %d", attempts.Load())
+	}))
+	v, _, err := m.Submit(testSpec("sweep", 0xdead))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitTerminal(t, m, v.ID)
+	if done.State != StateFailed || done.Attempt != 3 {
+		t.Fatalf("final view: %+v", done)
+	}
+	if !strings.Contains(done.Error, "attempt 3") {
+		t.Fatalf("dead letter lost the last error: %q", done.Error)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("runner ran %d times, want 3", got)
+	}
+}
+
+// TestSubmitDedup checks active jobs deduplicate by fingerprint while
+// distinct fingerprints queue separately.
+func TestSubmitDedup(t *testing.T) {
+	release := make(chan struct{})
+	m := openTest(t, Config{Workers: 1}, RunnerFunc(func(ctx context.Context, spec Spec) ([]byte, error) {
+		select {
+		case <-release:
+			return []byte("ok"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}))
+	first, _, err := m.Submit(testSpec("partition", 0x11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, deduped, err := m.Submit(testSpec("partition", 0x11))
+	if err != nil || !deduped || dup.ID != first.ID {
+		t.Fatalf("duplicate submit: id=%s deduped=%v err=%v (want %s)", dup.ID, deduped, err, first.ID)
+	}
+	other, deduped, err := m.Submit(testSpec("partition", 0x22))
+	if err != nil || deduped || other.ID == first.ID {
+		t.Fatalf("distinct submit: id=%s deduped=%v err=%v", other.ID, deduped, err)
+	}
+	close(release)
+	if v := waitTerminal(t, m, first.ID); v.State != StateDone {
+		t.Fatalf("first job: %+v", v)
+	}
+	// A terminal job no longer blocks its fingerprint.
+	again, deduped, err := m.Submit(testSpec("partition", 0x11))
+	if err != nil || deduped || again.ID == first.ID {
+		t.Fatalf("resubmit after done: id=%s deduped=%v err=%v", again.ID, deduped, err)
+	}
+}
+
+// TestQueueFull checks the active-job bound rejects with ErrQueueFull.
+func TestQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	m := openTest(t, Config{Workers: 1, QueueDepth: 2}, RunnerFunc(func(ctx context.Context, spec Spec) ([]byte, error) {
+		select {
+		case <-release:
+			return []byte("ok"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}))
+	for i := uint64(1); i <= 2; i++ {
+		if _, _, err := m.Submit(testSpec("partition", i)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if _, _, err := m.Submit(testSpec("partition", 3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: got %v, want ErrQueueFull", err)
+	}
+	if m.Active() != 2 {
+		t.Fatalf("Active() = %d, want 2", m.Active())
+	}
+}
+
+// TestCancel covers both cancellation paths: a queued job cancels
+// immediately, a running one when its attempt context unwinds.
+func TestCancel(t *testing.T) {
+	started := make(chan struct{}, 1)
+	m := openTest(t, Config{Workers: 1}, RunnerFunc(func(ctx context.Context, spec Spec) ([]byte, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}))
+	running, _, err := m.Submit(testSpec("partition", 0x1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, _, err := m.Submit(testSpec("partition", 0x2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	if v, err := m.Cancel(queued.ID); err != nil || v.State != StateCancelled {
+		t.Fatalf("cancel queued: %+v err=%v", v, err)
+	}
+	if _, err := m.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	if v := waitTerminal(t, m, running.ID); v.State != StateCancelled {
+		t.Fatalf("cancel running: %+v", v)
+	}
+	// Cancelling a terminal job is a no-op, not an error.
+	if v, err := m.Cancel(running.ID); err != nil || v.State != StateCancelled {
+		t.Fatalf("re-cancel: %+v err=%v", v, err)
+	}
+	if _, err := m.Cancel("j999999-0000000000000000"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("cancel unknown: %v", err)
+	}
+}
+
+// TestAttemptTimeout checks a slow solve burns one attempt and the
+// retry succeeds.
+func TestAttemptTimeout(t *testing.T) {
+	m := openTest(t, Config{
+		AttemptTimeout: 20 * time.Millisecond,
+		Hooks: &Hooks{ComputeDelay: func(spec Spec, attempt int) time.Duration {
+			if attempt == 1 {
+				return time.Minute // far beyond the deadline; injection respects ctx
+			}
+			return 0
+		}},
+	}, RunnerFunc(func(ctx context.Context, spec Spec) ([]byte, error) { return []byte("ok"), nil }))
+	v, _, err := m.Submit(testSpec("sweep", 0x51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitTerminal(t, m, v.ID)
+	if done.State != StateDone || done.Attempt != 2 {
+		t.Fatalf("final view: %+v", done)
+	}
+}
+
+// TestDrainCheckpoint drains a manager mid-attempt and checks the
+// restarted one finishes the job without a burned attempt.
+func TestDrainCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	started := make(chan struct{}, 1)
+	blocked, err := Open(Config{Dir: dir, NoSync: true, Retry: fastRetry}, RunnerFunc(func(ctx context.Context, spec Spec) ([]byte, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := blocked.Submit(testSpec("partition", 0x77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := blocked.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, _, err := blocked.Submit(testSpec("partition", 0x78)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while drained: %v", err)
+	}
+
+	restarted := openTest(t, Config{Dir: dir}, RunnerFunc(func(ctx context.Context, spec Spec) ([]byte, error) {
+		return []byte("after restart"), nil
+	}))
+	done := waitTerminal(t, restarted, v.ID)
+	if done.State != StateDone {
+		t.Fatalf("replayed job: %+v", done)
+	}
+	if done.Attempt != 1 {
+		t.Fatalf("drain checkpoint burned the attempt: attempt=%d, want 1", done.Attempt)
+	}
+	if body, ok := restarted.Result(v.ID); !ok || string(body) != "after restart" {
+		t.Fatalf("result after restart: %q ok=%v", body, ok)
+	}
+}
+
+// TestReplayAttemptSemantics hand-writes journals and checks the
+// normalization rules: running(n) re-runs attempt n, retrying(n)
+// proceeds to attempt n+1, terminal jobs replay queryable but inert.
+func TestReplayAttemptSemantics(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir, strings.Join([]string{
+		submitLine("j000001-00000000000000aa", 1),
+		stateLine("j000001-00000000000000aa", StateRunning, 2),
+		submitLine("j000002-00000000000000aa", 2), // same fingerprint; both replayed jobs still run
+		stateLine("j000002-00000000000000aa", StateRetrying, 1),
+		submitLine("j000003-00000000000000aa", 3),
+		stateLine("j000003-00000000000000aa", StateDone, 1),
+	}, "\n")+"\n")
+
+	var ran atomic.Int64
+	m := openTest(t, Config{Dir: dir}, RunnerFunc(func(ctx context.Context, spec Spec) ([]byte, error) {
+		ran.Add(1)
+		return []byte("ok"), nil
+	}))
+	interrupted := waitTerminal(t, m, "j000001-00000000000000aa")
+	if interrupted.State != StateDone || interrupted.Attempt != 2 {
+		t.Fatalf("interrupted-running job: %+v (want done at attempt 2)", interrupted)
+	}
+	retried := waitTerminal(t, m, "j000002-00000000000000aa")
+	if retried.State != StateDone || retried.Attempt != 2 {
+		t.Fatalf("retrying job: %+v (want done at attempt 2)", retried)
+	}
+	finished, err := m.Get("j000003-00000000000000aa")
+	if err != nil || finished.State != StateDone {
+		t.Fatalf("terminal job after replay: %+v err=%v", finished, err)
+	}
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("runner ran %d times, want 2 (terminal job must not re-run)", got)
+	}
+	// The replayed-done job's body lives only in the result cache; the
+	// manager reports no in-memory copy rather than inventing one.
+	if _, ok := m.Result("j000003-00000000000000aa"); ok {
+		t.Fatal("replayed terminal job should have no in-memory result")
+	}
+}
+
+// TestReplayCompaction checks startup folds journal history into one
+// submit + state pair per job.
+func TestReplayCompaction(t *testing.T) {
+	dir := t.TempDir()
+	var lines []string
+	lines = append(lines, submitLine("j000001-00000000000000aa", 1))
+	for i := 1; i <= 3; i++ {
+		lines = append(lines, stateLine("j000001-00000000000000aa", StateRunning, i))
+		lines = append(lines, stateLine("j000001-00000000000000aa", StateRetrying, i))
+	}
+	lines = append(lines, stateLine("j000001-00000000000000aa", StateFailed, 3))
+	writeJournal(t, dir, strings.Join(lines, "\n")+"\n")
+
+	m := openTest(t, Config{Dir: dir}, RunnerFunc(func(ctx context.Context, spec Spec) ([]byte, error) { return nil, nil }))
+	if v, err := m.Get("j000001-00000000000000aa"); err != nil || v.State != StateFailed {
+		t.Fatalf("replayed job: %+v err=%v", v, err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(strings.TrimSpace(string(data)), "\n") + 1; got != 2 {
+		t.Fatalf("compacted journal holds %d records, want 2 (submit + terminal state)", got)
+	}
+}
+
+// TestRetention checks the oldest terminal jobs are evicted beyond the
+// Retain bound while active jobs are untouchable.
+func TestRetention(t *testing.T) {
+	m := openTest(t, Config{Retain: 2}, RunnerFunc(func(ctx context.Context, spec Spec) ([]byte, error) {
+		return []byte("ok"), nil
+	}))
+	var ids []string
+	for i := uint64(1); i <= 5; i++ {
+		v, _, err := m.Submit(testSpec("partition", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, m, v.ID)
+		ids = append(ids, v.ID)
+	}
+	if _, err := m.Get(ids[0]); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("oldest terminal job should be evicted, got err=%v", err)
+	}
+	for _, id := range ids[3:] {
+		if _, err := m.Get(id); err != nil {
+			t.Fatalf("recent terminal job %s evicted: %v", id, err)
+		}
+	}
+}
+
+// TestMemoryOnlyManager checks Dir-less managers work (no durability,
+// no crash).
+func TestMemoryOnlyManager(t *testing.T) {
+	m := openTest(t, Config{}, RunnerFunc(func(ctx context.Context, spec Spec) ([]byte, error) {
+		return []byte("ok"), nil
+	}))
+	v, _, err := m.Submit(testSpec("sweep", 0x99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done := waitTerminal(t, m, v.ID); done.State != StateDone {
+		t.Fatalf("final view: %+v", done)
+	}
+}

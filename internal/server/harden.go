@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -80,14 +82,69 @@ func (s *service) maxTimeout() time.Duration {
 	return defaultMaxTimeout
 }
 
-// shed rejects a request with a Retry-After hint. The hint is the queue
-// wait: by then at least one queued request has either started or been
-// shed itself, so capacity may exist again.
-func (s *service) shed(w http.ResponseWriter, status int, err error) {
-	secs := int(s.queueWait().Round(time.Second) / time.Second)
-	if secs < 1 {
-		secs = 1
+// latEWMA tracks observed compute latency as an exponentially weighted
+// moving average (α = 0.2, so roughly the last five computes dominate).
+// It feeds the dynamic Retry-After hints: a server doing minutes-long
+// metro partitions should tell shed clients to come back later than one
+// doing millisecond toy networks.
+type latEWMA struct {
+	mu   sync.Mutex
+	v    float64 // seconds
+	seen bool
+}
+
+func (l *latEWMA) observe(d time.Duration) {
+	sec := d.Seconds()
+	l.mu.Lock()
+	if l.seen {
+		l.v = 0.8*l.v + 0.2*sec
+	} else {
+		l.v = sec
+		l.seen = true
 	}
+	l.mu.Unlock()
+}
+
+// seconds returns the current average, 0 before any observation.
+func (l *latEWMA) seconds() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.v
+}
+
+// retryAfterSecs derives a Retry-After hint from the live backlog:
+// with latency history, the expected wait is one average compute per
+// backlog position spread over the slots draining it ("my spot in
+// line"); without history the caller's static fallback applies. The
+// result is clamped to [1, 600] — at least a second so clients cannot
+// busy-loop on a zero, at most ten minutes so a latency spike cannot
+// push clients away for hours. Pure function; the bounds are pinned in
+// harden_test.go.
+func retryAfterSecs(depth, slots int, latSecs, fallbackSecs float64) int {
+	if slots < 1 {
+		slots = 1
+	}
+	secs := fallbackSecs
+	if latSecs > 0 {
+		secs = latSecs * float64(depth+1) / float64(slots)
+	}
+	n := int(math.Ceil(secs))
+	if n < 1 {
+		n = 1
+	}
+	if n > 600 {
+		n = 600
+	}
+	return n
+}
+
+// shed rejects a request with a Retry-After hint derived from the
+// admission queue's depth and the observed compute latency; before any
+// compute has been observed the hint falls back to the queue wait (by
+// then at least one queued request has either started or been shed, so
+// capacity may exist again).
+func (s *service) shed(w http.ResponseWriter, status int, err error) {
+	secs := retryAfterSecs(int(s.queued.Load()), s.cfg.MaxInFlight, s.lat.seconds(), s.queueWait().Seconds())
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	writeErr(w, status, err)
 }

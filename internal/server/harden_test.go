@@ -316,3 +316,40 @@ func TestPartitionStillServesUnderDefaults(t *testing.T) {
 		t.Fatalf("status = %d, want 200 (body: %s)", rec.Code, rec.Body.String())
 	}
 }
+
+// TestRetryAfterSecs pins the dynamic Retry-After derivation: the
+// fallback applies with no latency history, the backlog scales the
+// hint linearly, and every output stays inside the documented [1,600]
+// clamp no matter how extreme the inputs.
+func TestRetryAfterSecs(t *testing.T) {
+	cases := []struct {
+		name                  string
+		depth, slots          int
+		latSecs, fallbackSecs float64
+		want                  int
+	}{
+		{"no history uses fallback", 10, 4, 0, 5, 5},
+		{"no history clamps low", 0, 4, 0, 0, 1},
+		{"one ahead one slot", 0, 1, 2, 5, 2},
+		{"deep backlog scales", 9, 1, 2, 5, 20},
+		{"slots divide the wait", 9, 5, 2, 5, 4},
+		{"sub-second rounds up to 1", 0, 8, 0.1, 5, 1},
+		{"clamps high at 600", 1000, 1, 120, 5, 600},
+		{"zero slots treated as one", 3, 0, 1, 5, 4},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSecs(tc.depth, tc.slots, tc.latSecs, tc.fallbackSecs); got != tc.want {
+			t.Errorf("%s: retryAfterSecs(%d,%d,%g,%g) = %d, want %d",
+				tc.name, tc.depth, tc.slots, tc.latSecs, tc.fallbackSecs, got, tc.want)
+		}
+	}
+	// Monotone in depth: a longer line never yields a shorter hint.
+	prev := 0
+	for depth := 0; depth <= 64; depth++ {
+		got := retryAfterSecs(depth, 4, 1.5, 5)
+		if got < prev {
+			t.Fatalf("hint shrank from %d to %d as depth grew to %d", prev, got, depth)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,322 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"roadpart/internal/core"
+	"roadpart/internal/jobs"
+	"roadpart/internal/resultcache"
+)
+
+// This file is the HTTP face of internal/jobs: POST /v1/jobs accepts a
+// partition or sweep request as a durable async job (202 + id), the
+// /v1/jobs/{id} resource exposes the job state machine (GET polls,
+// DELETE cancels), and /v1/jobs/{id}/result serves the finished body —
+// byte-identical to what the synchronous endpoint would have written,
+// because both paths serialize once and share the content-addressed
+// result cache.
+
+// testJobHooks lets in-package tests inject jobs faults through the
+// normal construction path (the watchHeartbeat pattern); always nil in
+// production — fault injection is deliberately absent from Config.
+var testJobHooks *jobs.Hooks
+
+// JobSubmitRequest is the body of POST /v1/jobs: the op selector plus
+// exactly the matching synchronous request document. A job's
+// timeout_ms is ignored — job attempts run under the server's
+// JobAttemptTimeout instead, since the submitting connection is gone
+// long before the deadline matters.
+type JobSubmitRequest struct {
+	// Op is "partition" or "sweep".
+	Op        string            `json:"op"`
+	Partition *PartitionRequest `json:"partition,omitempty"`
+	Sweep     *SweepRequest     `json:"sweep,omitempty"`
+}
+
+// JobSubmitResponse is the 202 body: the accepted (or deduplicated)
+// job's initial view. The Location header carries the poll URL.
+type JobSubmitResponse struct {
+	Job jobs.View `json:"job"`
+	// Deduplicated reports that an active job with the same content
+	// fingerprint already covers this work and was returned instead of
+	// queueing a twin.
+	Deduplicated bool `json:"deduplicated,omitempty"`
+}
+
+// JobStatusResponse is the body of GET/DELETE /v1/jobs/{id}.
+type JobStatusResponse struct {
+	Job jobs.View `json:"job"`
+	// ResultURL is set once the job is done.
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+// handleJobSubmit serves POST /v1/jobs.
+func (s *service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobSubmitRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	spec, err := s.jobSpec(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	v, deduped, err := s.jobs.Submit(spec)
+	if err != nil {
+		s.writeJobSubmitErr(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+v.ID)
+	writeJSON(w, http.StatusAccepted, JobSubmitResponse{Job: v, Deduplicated: deduped})
+}
+
+// jobSpec validates a submission exactly as the synchronous handler
+// would — same buildConfig, same network validation, same k-range
+// defaults — so a job can never fail later on input the API should
+// have rejected at submit time, and its fingerprint matches the one
+// the synchronous endpoint computes for the same document.
+func (s *service) jobSpec(req *JobSubmitRequest) (jobs.Spec, error) {
+	switch req.Op {
+	case resultcache.OpPartition:
+		p := req.Partition
+		if p == nil {
+			return jobs.Spec{}, fmt.Errorf("op %q needs a partition document", req.Op)
+		}
+		cfg, err := s.partitionConfig(p)
+		if err != nil {
+			return jobs.Spec{}, err
+		}
+		payload, err := json.Marshal(p)
+		if err != nil {
+			return jobs.Spec{}, err
+		}
+		return jobs.Spec{
+			Op:      resultcache.OpPartition,
+			Key:     resultcache.PartitionKey(p.Network, cfg),
+			Tag:     resultcache.NetworkTag(p.Network),
+			Payload: payload,
+		}, nil
+	case resultcache.OpSweep:
+		sw := req.Sweep
+		if sw == nil {
+			return jobs.Spec{}, fmt.Errorf("op %q needs a sweep document", req.Op)
+		}
+		cfg, kMin, kMax, err := s.sweepConfig(sw)
+		if err != nil {
+			return jobs.Spec{}, err
+		}
+		payload, err := json.Marshal(sw)
+		if err != nil {
+			return jobs.Spec{}, err
+		}
+		return jobs.Spec{
+			Op:      resultcache.OpSweep,
+			Key:     resultcache.SweepKey(sw.Network, cfg, kMin, kMax),
+			Tag:     resultcache.NetworkTag(sw.Network),
+			Payload: payload,
+		}, nil
+	default:
+		return jobs.Spec{}, fmt.Errorf("unknown op %q (want %q or %q)", req.Op, resultcache.OpPartition, resultcache.OpSweep)
+	}
+}
+
+// partitionConfig resolves and validates a partition document into its
+// core config, shared by the sync handler path and the job path.
+func (s *service) partitionConfig(p *PartitionRequest) (core.Config, error) {
+	cfg, err := buildConfig(p.Scheme, p.Seed)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.K = p.K
+	cfg.StabilityEps = p.StabilityEps
+	cfg.Refine = p.Refine
+	cfg.Workers = s.workers(p.Workers)
+	if p.Network == nil {
+		return cfg, fmt.Errorf("missing network")
+	}
+	return cfg, p.Network.Validate()
+}
+
+// sweepConfig resolves and validates a sweep document, applying the
+// same k-range defaults as the synchronous handler so both paths hash
+// the same cache identity.
+func (s *service) sweepConfig(sw *SweepRequest) (core.Config, int, int, error) {
+	cfg, err := buildConfig(sw.Scheme, sw.Seed)
+	if err != nil {
+		return cfg, 0, 0, err
+	}
+	cfg.Workers = s.workers(sw.Workers)
+	if sw.Network == nil {
+		return cfg, 0, 0, fmt.Errorf("missing network")
+	}
+	if err := sw.Network.Validate(); err != nil {
+		return cfg, 0, 0, err
+	}
+	kMin, kMax := sw.KMin, sw.KMax
+	if kMin == 0 {
+		kMin = 2
+	}
+	if kMax == 0 {
+		kMax = 10
+	}
+	return cfg, kMin, kMax, nil
+}
+
+// runJob is the jobs.Runner: it decodes the journaled payload and runs
+// the same compute closure the synchronous handler uses, through the
+// same content-addressed cache. That shared path is what makes a job
+// idempotent per fingerprint — a re-run after a crash that lost only
+// the trailing "done" record finds the stored body and never computes
+// to completion twice.
+func (s *service) runJob(ctx context.Context, spec jobs.Spec) ([]byte, error) {
+	compute, err := s.jobCompute(spec)
+	if err != nil {
+		return nil, err
+	}
+	if s.cache == nil {
+		return compute(ctx)
+	}
+	body, _, err := s.cache.GetOrComputeTagged(ctx, spec.Key, spec.Tag, compute)
+	return body, err
+}
+
+// jobCompute rebuilds the compute closure from a (possibly replayed)
+// payload. Decode failures are terminal: the payload was validated at
+// submit time, so damage here means journal corruption, not user error.
+func (s *service) jobCompute(spec jobs.Spec) (func(context.Context) ([]byte, error), error) {
+	switch spec.Op {
+	case resultcache.OpPartition:
+		var p PartitionRequest
+		if err := json.Unmarshal(spec.Payload, &p); err != nil {
+			return nil, fmt.Errorf("corrupt partition job payload: %w", err)
+		}
+		cfg, err := s.partitionConfig(&p)
+		if err != nil {
+			return nil, fmt.Errorf("replayed partition job no longer valid: %w", err)
+		}
+		return func(ctx context.Context) ([]byte, error) {
+			return s.computePartition(ctx, p.Network, cfg)
+		}, nil
+	case resultcache.OpSweep:
+		var sw SweepRequest
+		if err := json.Unmarshal(spec.Payload, &sw); err != nil {
+			return nil, fmt.Errorf("corrupt sweep job payload: %w", err)
+		}
+		cfg, kMin, kMax, err := s.sweepConfig(&sw)
+		if err != nil {
+			return nil, fmt.Errorf("replayed sweep job no longer valid: %w", err)
+		}
+		return func(ctx context.Context) ([]byte, error) {
+			return s.computeSweep(ctx, &sw, cfg, kMin, kMax)
+		}, nil
+	default:
+		return nil, fmt.Errorf("journaled job has unknown op %q", spec.Op)
+	}
+}
+
+// writeJobSubmitErr maps Submit failures: a full queue is 429, a
+// draining daemon 503 — both with a Retry-After derived from the
+// actual backlog and observed compute latency, not a constant.
+func (s *service) writeJobSubmitErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrDraining):
+		status = http.StatusServiceUnavailable
+	}
+	if status != http.StatusInternalServerError {
+		secs := retryAfterSecs(s.jobs.Active(), s.jobs.Workers(), s.lat.seconds(), s.queueWait().Seconds())
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeErr(w, status, err)
+}
+
+// handleJobItem serves the /v1/jobs/{id} resource and its /result
+// sub-resource.
+func (s *service) handleJobItem(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	switch {
+	case id == "":
+		writeErr(w, http.StatusNotFound, fmt.Errorf("missing job id"))
+	case sub == "result":
+		if !allow(w, r, http.MethodGet) {
+			return
+		}
+		s.serveJobResult(w, r, id)
+	case sub != "":
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job sub-resource %q", sub))
+	case r.Method == http.MethodGet:
+		v, err := s.jobs.Get(id)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, jobStatus(v))
+	case r.Method == http.MethodDelete:
+		v, err := s.jobs.Cancel(id)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, jobStatus(v))
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or DELETE"))
+	}
+}
+
+func jobStatus(v jobs.View) JobStatusResponse {
+	resp := JobStatusResponse{Job: v}
+	if v.State == jobs.StateDone {
+		resp.ResultURL = "/v1/jobs/" + v.ID + "/result"
+	}
+	return resp
+}
+
+// serveJobResult writes a done job's body with the synchronous
+// endpoint's exact framing. The body comes from (in order) the
+// manager's in-memory copy, the content-addressed cache, or — for a
+// job completed before a restart whose cache entry was since evicted —
+// a recompute through the same content-addressed path, which is
+// byte-identical by construction.
+func (s *service) serveJobResult(w http.ResponseWriter, r *http.Request, id string) {
+	v, err := s.jobs.Get(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if v.State != jobs.StateDone {
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s, not done", id, v.State))
+		return
+	}
+	if body, ok := s.jobs.Result(id); ok {
+		writeJSONBody(w, body)
+		return
+	}
+	spec, ok := s.jobs.Spec(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, jobs.ErrUnknownJob)
+		return
+	}
+	if s.cache != nil {
+		if body, ok := s.cache.Get(spec.Key); ok {
+			w.Header().Set(CacheHeader, "hit")
+			writeJSONBody(w, body)
+			return
+		}
+	}
+	body, err := s.runJob(r.Context(), spec)
+	if err != nil {
+		writeComputeErr(w, 0, err)
+		return
+	}
+	writeJSONBody(w, body)
+}

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"roadpart/internal/obs"
@@ -19,11 +20,26 @@ var trackedPaths = map[string]bool{
 	"/v1/healthz":   true,
 	"/v1/partition": true,
 	"/v1/sweep":     true,
+	"/v1/jobs":      true,
 	"/v1/render":    true,
 	"/v1/densities": true,
 	"/v1/watch":     true,
 	"/v1/metrics":   true,
 	"/v1/stats":     true,
+}
+
+// metricPath folds a request path into the closed label set: per-job
+// URLs ("/v1/jobs/j000001-…", "…/result") collapse to one label so job
+// polling cannot explode the cardinality either.
+func metricPath(path string) string {
+	switch {
+	case trackedPaths[path]:
+		return path
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		return "/v1/jobs/{id}"
+	default:
+		return "other"
+	}
 }
 
 const (
@@ -35,10 +51,7 @@ const (
 // latency timer per path and a counter per (path, status code).
 func instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		path := r.URL.Path
-		if !trackedPaths[path] {
-			path = "other"
-		}
+		path := metricPath(r.URL.Path)
 		sw := &statusWriter{ResponseWriter: w}
 		sp := obs.Default().Timer("roadpart_http_request_duration_seconds", reqTimeHelp,
 			"path", path).Start()

@@ -5,6 +5,9 @@
 //
 //	POST /v1/partition  — partition a network at a fixed k
 //	POST /v1/sweep      — sweep k and report per-k quality (+ the ANS pick)
+//	POST /v1/jobs       — submit a partition/sweep as a durable async job (202)
+//	GET  /v1/jobs/{id}  — poll a job's state machine; DELETE cancels it
+//	GET  /v1/jobs/{id}/result — fetch a done job's body (bit-identical to sync)
 //	POST /v1/render     — render a network (and optional assignment) as SVG
 //	POST /v1/densities  — advance the density stream (full vector or delta)
 //	GET  /v1/watch      — SSE feed of the stream's repartition events
@@ -38,6 +41,7 @@ import (
 	"time"
 
 	"roadpart/internal/core"
+	"roadpart/internal/jobs"
 	"roadpart/internal/metrics"
 	"roadpart/internal/render"
 	"roadpart/internal/resultcache"
@@ -159,6 +163,34 @@ type Config struct {
 	// startup, so a restarted daemon keeps its hot set. Meaningful only
 	// with CacheMaxBytes > 0.
 	CacheDir string
+	// JobWorkers bounds concurrently executing async-job attempts
+	// (POST /v1/jobs). 0 selects the internal/jobs default (2). Job
+	// attempts additionally pass through the same admission controller
+	// as synchronous requests, so the two paths cannot oversubscribe
+	// MaxInFlight between them.
+	JobWorkers int
+	// JobQueueDepth bounds active (non-terminal) async jobs; beyond it
+	// submissions are rejected with 429. 0 selects the default (64).
+	JobQueueDepth int
+	// JobMaxAttempts is the per-job attempt budget before the terminal
+	// dead-letter state. 0 selects the default (3).
+	JobMaxAttempts int
+	// JobAttemptTimeout bounds each job attempt's compute; 0 falls back
+	// to DefaultTimeout (and to no deadline when that is also 0).
+	JobAttemptTimeout time.Duration
+	// JobRetryBase and JobRetryMax shape the capped exponential backoff
+	// between job attempts (zeroes select 1s base, 1m cap). The jitter
+	// is deterministic per job fingerprint — see internal/jobs.Backoff.
+	JobRetryBase time.Duration
+	JobRetryMax  time.Duration
+	// JobDir, when non-empty, holds the roadpart-jobs/v1 write-ahead
+	// journal: submissions and transitions are journaled, and a
+	// restarted daemon replays incomplete jobs. Empty serves jobs
+	// memory-only (a restart forgets them).
+	JobDir string
+	// JobNoSync skips the per-record journal fsync (tests; a power loss
+	// may drop the trailing records).
+	JobNoSync bool
 }
 
 // service carries the server configuration into the handlers.
@@ -169,6 +201,8 @@ type service struct {
 	cache  *resultcache.Cache // nil when caching is off
 	stream stream             // the density stream (daemon mode)
 	hub    *watchHub          // /v1/watch fan-out
+	jobs   *jobs.Manager      // durable async jobs (always on)
+	lat    latEWMA            // observed compute latency → Retry-After hints
 }
 
 // New returns the service's HTTP handler with default configuration.
@@ -187,11 +221,32 @@ func NewWith(cfg Config) http.Handler {
 
 // NewChecked is NewWith with setup errors reported instead of panicking.
 func NewChecked(cfg Config) (http.Handler, error) {
+	return NewService(cfg)
+}
+
+// Service is the HTTP handler together with its lifecycle: daemons that
+// shut down gracefully call Close so in-flight jobs checkpoint into the
+// journal instead of being abandoned mid-attempt.
+type Service struct {
+	http.Handler
+	svc *service
+}
+
+// NewService builds the service and exposes its lifecycle.
+func NewService(cfg Config) (*Service, error) {
 	s, err := newService(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return s.handler(), nil
+	return &Service{Handler: s.handler(), svc: s}, nil
+}
+
+// Close drains the async-job subsystem: new submissions are refused
+// with 503, retry timers stop, and interrupted attempts are journaled
+// back to queued so a restarted daemon resumes them with a full budget.
+// ctx bounds the wait for in-flight attempts.
+func (sv *Service) Close(ctx context.Context) error {
+	return sv.svc.jobs.Close(ctx)
 }
 
 func newService(cfg Config) (*service, error) {
@@ -206,6 +261,24 @@ func newService(cfg Config) (*service, error) {
 		}
 		s.cache = c
 	}
+	attemptTimeout := cfg.JobAttemptTimeout
+	if attemptTimeout <= 0 {
+		attemptTimeout = cfg.DefaultTimeout
+	}
+	m, err := jobs.Open(jobs.Config{
+		Workers:        cfg.JobWorkers,
+		QueueDepth:     cfg.JobQueueDepth,
+		MaxAttempts:    cfg.JobMaxAttempts,
+		AttemptTimeout: attemptTimeout,
+		Retry:          jobs.Backoff{Base: cfg.JobRetryBase, Max: cfg.JobRetryMax},
+		Dir:            cfg.JobDir,
+		NoSync:         cfg.JobNoSync,
+		Hooks:          testJobHooks,
+	}, jobs.RunnerFunc(s.runJob))
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = m
 	return s, nil
 }
 
@@ -219,6 +292,8 @@ func (s *service) handler() http.Handler {
 	mux.HandleFunc("/v1/healthz", handleHealth)
 	mux.HandleFunc("/v1/partition", s.handlePartition)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("/v1/jobs/", s.handleJobItem)
 	mux.HandleFunc("/v1/render", handleRender)
 	mux.HandleFunc("/v1/densities", s.handleDensities)
 	mux.HandleFunc("/v1/watch", s.handleWatch)
@@ -292,20 +367,8 @@ func (s *service) handlePartition(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	cfg, err := buildConfig(req.Scheme, req.Seed)
+	cfg, err := s.partitionConfig(&req)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	cfg.K = req.K
-	cfg.StabilityEps = req.StabilityEps
-	cfg.Refine = req.Refine
-	cfg.Workers = s.workers(req.Workers)
-	if req.Network == nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing network"))
-		return
-	}
-	if err := req.Network.Validate(); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -349,6 +412,7 @@ func (s *service) computePartition(ctx context.Context, net *roadnet.Network, cf
 	if err != nil {
 		return nil, err
 	}
+	s.lat.observe(time.Since(t0))
 	return json.Marshal(PartitionResponse{
 		Assign: res.Assign,
 		K:      res.K,
@@ -369,29 +433,14 @@ func (s *service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	cfg, err := buildConfig(req.Scheme, req.Seed)
+	// The requested range (after defaulting) is the cacheable identity;
+	// the supergraph clamp inside computeSweep is a deterministic
+	// function of the same inputs, so hashing the pre-clamp range is
+	// sound.
+	cfg, kMin, kMax, err := s.sweepConfig(&req)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
-	}
-	cfg.Workers = s.workers(req.Workers)
-	if req.Network == nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing network"))
-		return
-	}
-	if err := req.Network.Validate(); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	// The requested range is the cacheable identity; the supergraph
-	// clamp inside computeSweep is a deterministic function of the same
-	// inputs, so hashing the pre-clamp range is sound.
-	kMin, kMax := req.KMin, req.KMax
-	if kMin == 0 {
-		kMin = 2
-	}
-	if kMax == 0 {
-		kMax = 10
 	}
 	ctx, cancel, budget := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
@@ -425,6 +474,7 @@ func (s *service) computeSweep(ctx context.Context, req *SweepRequest, cfg core.
 		return nil, err
 	}
 	defer release()
+	t0 := time.Now()
 	p, err := core.NewPipelineCtx(ctx, req.Network, cfg)
 	if err != nil {
 		return nil, err
@@ -439,6 +489,7 @@ func (s *service) computeSweep(ctx context.Context, req *SweepRequest, cfg core.
 	if err != nil {
 		return nil, err
 	}
+	s.lat.observe(time.Since(t0))
 	resp := SweepResponse{BestK: best}
 	for _, pt := range sweep {
 		resp.Points = append(resp.Points, SweepPointJSON{K: pt.K, Report: pt.Result.Report})
