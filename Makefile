@@ -4,8 +4,9 @@
 # a fuzz smoke pass over the untrusted-input parsers, a benchmark-harness
 # smoke check (one short benchmark through cmd/benchdiff), a regression
 # diff of the anchor benchmarks against the latest BENCH_<n>.json
-# (bench-check), the job-durability chaos suite (chaos-smoke), and the
-# docs checks (gofmt drift + relative-link rot in *.md).
+# (bench-check), the XL-tier multilevel smoke (scale-smoke, see
+# docs/SCALING.md), the job-durability chaos suite (chaos-smoke), and
+# the docs checks (gofmt drift + relative-link rot in *.md).
 
 GO ?= go
 FUZZTIME ?= 10s
@@ -29,7 +30,7 @@ BENCH_TABLE3_ANCHOR ?= BENCH_4.json
 BENCH_TABLE3_GATE ?= -0.40
 BENCH_SWEEP_RATIO ?= 1.5
 
-.PHONY: build vet test race bench bench-smoke bench-check fuzz-smoke sse-smoke chaos-smoke docs-check numerics-check verify
+.PHONY: build vet test race bench bench-smoke bench-check bench-scale scale-smoke fuzz-smoke sse-smoke chaos-smoke docs-check numerics-check verify
 
 build:
 	$(GO) build ./...
@@ -60,6 +61,23 @@ bench:
 # through benchdiff's snapshot parser, and the snapshot self-compares
 # cleanly. It proves the harness end to end without the cost of the
 # full suite.
+# bench-scale snapshots the scale-tier anchors (BenchmarkScale: S/M/L,
+# time + peakMB, docs/SCALING.md) alongside the regular anchor subset to
+# the next free BENCH_<n>.json, so the scaling table has a pinned
+# history just like the paper-protocol benchmarks.
+bench-scale:
+	@n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
+	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) test -bench '$(BENCH_CHECK)' -benchtime $(BENCHTIME) -benchmem -run '^$$' . > "$$tmp/bench.txt" && \
+	$(GO) test -bench '^BenchmarkScale$$' -benchtime $(BENCHTIME) -benchmem -run '^$$' . >> "$$tmp/bench.txt" && \
+	$(GO) run ./cmd/benchdiff -snapshot -o BENCH_$$n.json "$$tmp/bench.txt" \
+		&& echo "wrote BENCH_$$n.json"
+
+# scale-smoke drives the XL tier (>= 1e6 directed segments) through the
+# auto multilevel path once, end to end (TestScaleSmokeXL). ~15-60s.
+scale-smoke:
+	ROADPART_SCALE_SMOKE=1 $(GO) test -run '^TestScaleSmokeXL$$' -v -short -timeout 30m .
+
 bench-smoke:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) test -bench '^BenchmarkEigenDense300$$' -benchtime 1x -benchmem -run '^$$' . > "$$tmp/bench.txt" && \
@@ -73,11 +91,18 @@ bench-smoke:
 # in only one side (suite growth) are reported but never failed.
 # Override the thresholds per invocation, e.g.
 #   make bench-check BENCH_MAX_TIME=0.10 BENCHTIME=5x
+# bench-check also runs the BenchmarkScale/tier=L anchor (the multilevel
+# path at >= 1e5 dual nodes, docs/SCALING.md) as a second `go test`
+# invocation appended to the same results file: `go test` splits the
+# -bench pattern on "/", so folding a sub-benchmark anchor into
+# BENCH_CHECK's alternation would wrongly filter SweepDeep's cold/warm
+# sub-benchmarks.
 bench-check:
 	@latest=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1); \
 	if [ -z "$$latest" ]; then echo "bench-check: no BENCH_<n>.json snapshot found"; exit 1; fi; \
 	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) test -bench '$(BENCH_CHECK)' -benchtime $(BENCHTIME) -benchmem -run '^$$' . > "$$tmp/bench.txt" && \
+	$(GO) test -bench '^BenchmarkScale$$/^tier=L$$' -benchtime $(BENCHTIME) -benchmem -run '^$$' . >> "$$tmp/bench.txt" && \
 	$(GO) run ./cmd/benchdiff -snapshot -o "$$tmp/new.json" "$$tmp/bench.txt" && \
 	echo "bench-check: comparing against $$latest" && \
 	$(GO) run ./cmd/benchdiff -max-time-regress $(BENCH_MAX_TIME) -max-bytes-regress $(BENCH_MAX_BYTES) \
@@ -133,4 +158,4 @@ docs-check:
 	$(GO) vet ./...
 	$(GO) test -run TestDocsLinks .
 
-verify: build vet test race fuzz-smoke bench-smoke bench-check sse-smoke chaos-smoke docs-check numerics-check
+verify: build vet test race fuzz-smoke bench-smoke bench-check scale-smoke sse-smoke chaos-smoke docs-check numerics-check

@@ -47,14 +47,18 @@ type Snapshot struct {
 
 // Benchmark is one benchmark's measurements. Name has the -GOMAXPROCS
 // suffix stripped so snapshots from differently sized machines compare.
+// Custom b.ReportMetric units (e.g. BenchmarkScale's peakMB heap
+// high-water) land in Metrics keyed by their unit string; they are
+// recorded in snapshots but not threshold-gated.
 type Benchmark struct {
-	Name        string  `json:"name"`
-	Pkg         string  `json:"pkg,omitempty"`
-	Procs       int     `json:"procs,omitempty"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 const schemaV1 = "roadpart-bench/v1"
@@ -109,6 +113,12 @@ func parseText(r io.Reader) (*Snapshot, error) {
 				b.BytesPerOp = v
 			case "allocs/op":
 				b.AllocsPerOp = v
+			default:
+				// Custom ReportMetric unit: record it verbatim.
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[fields[1]] = v
 			}
 		}
 		snap.Benchmarks = append(snap.Benchmarks, b)

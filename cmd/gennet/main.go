@@ -5,6 +5,12 @@
 //
 //	gennet -intersections 5000 -segments 9000 -vehicles 12000 -out city.json
 //	gennet -preset M1 -out m1.json -densities m1.csv
+//	gennet -tier L -out l.json
+//
+// -tier generates a gen.ScaleTier city (S, M, L or XL — up to ~10⁶
+// directed segments, see docs/SCALING.md) with a synthetic hotspot
+// density field instead of agent simulation, which would be prohibitive
+// at the XL scale.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 func main() {
 	var (
 		preset        = flag.String("preset", "", "preset dataset: D1, M1, M2, M3 (traffic included)")
+		tier          = flag.String("tier", "", "scale-tier city: S, M, L, XL (Lämmer-style topology, synthetic density field; overrides the custom-city flags)")
 		intersections = flag.Int("intersections", 1000, "intersection count for a custom city")
 		segments      = flag.Int("segments", 1800, "directed segment count for a custom city")
 		spacing       = flag.Float64("spacing", 100, "lattice pitch in metres")
@@ -35,7 +42,23 @@ func main() {
 	flag.Parse()
 
 	var net *roadnet.Network
-	if *preset != "" {
+	if *tier != "" {
+		t, err := gen.ParseTier(*tier)
+		if err != nil {
+			fatal(err)
+		}
+		net, err = gen.ScaleTier(t, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		snap, err := traffic.SyntheticField(net, traffic.FieldConfig{Hotspots: *hotspots, Seed: *seed * 7919})
+		if err != nil {
+			fatal(err)
+		}
+		if err := traffic.ApplySnapshot(net, snap); err != nil {
+			fatal(err)
+		}
+	} else if *preset != "" {
 		ds, err := experiments.BuildDataset(*preset, experiments.ScaleFull)
 		if err != nil {
 			fatal(err)

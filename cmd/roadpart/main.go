@@ -59,6 +59,7 @@ func main() {
 		stabEps  = flag.Float64("stability", 0, "supernode stability threshold in [0,1] (0 = off)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS, 1 = serial; same result either way)")
+		mlevel   = flag.String("multilevel", "auto", "multilevel coarsening path: auto (engage above the node threshold), on, off (see docs/SCALING.md)")
 		timings  = flag.Bool("timings", false, "print the per-stage wall-clock breakdown (paper Table 3 layout)")
 		outPath  = flag.String("out", "", "write segment,partition CSV here")
 		svgPath  = flag.String("svg", "", "write an SVG map of the partitions here")
@@ -93,8 +94,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	multilevel, err := core.ParseMultilevelMode(*mlevel)
+	if err != nil {
+		fatal(err)
+	}
 	if *jobBase != "" {
-		if err := submitJob(*jobBase, jobRequest(net, *schemeN, *k, *kmax, *autoK, *stabEps, *seed, *workers), *jobWait); err != nil {
+		if err := submitJob(*jobBase, jobRequest(net, *schemeN, *k, *kmax, *autoK, *stabEps, *seed, *workers, *mlevel), *jobWait); err != nil {
 			fatal(err)
 		}
 		return
@@ -106,7 +111,7 @@ func main() {
 		}
 	}
 	linalg.SetWorkers(*workers)
-	cfg := core.Config{K: *k, Scheme: scheme, StabilityEps: *stabEps, Seed: *seed, Workers: *workers}
+	cfg := core.Config{K: *k, Scheme: scheme, StabilityEps: *stabEps, Seed: *seed, Workers: *workers, Multilevel: multilevel}
 
 	p, err := core.NewPipeline(net, cfg)
 	if err != nil {

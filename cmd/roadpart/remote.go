@@ -132,16 +132,16 @@ func printRepartition(out io.Writer, ev server.RepartitionEvent) {
 // jobRequest assembles the POST /v1/jobs document from the CLI flags:
 // the partition the run would have computed locally, or — with -autok —
 // the [2, kmax] sweep whose ANS minimum selects k.
-func jobRequest(net *roadnet.Network, scheme string, k, kmax int, autoK bool, stabEps float64, seed uint64, workers int) *server.JobSubmitRequest {
+func jobRequest(net *roadnet.Network, scheme string, k, kmax int, autoK bool, stabEps float64, seed uint64, workers int, multilevel string) *server.JobSubmitRequest {
 	if autoK {
 		return &server.JobSubmitRequest{
 			Op:    "sweep",
-			Sweep: &server.SweepRequest{Network: net, KMin: 2, KMax: kmax, Scheme: scheme, Seed: seed, Workers: workers},
+			Sweep: &server.SweepRequest{Network: net, KMin: 2, KMax: kmax, Scheme: scheme, Seed: seed, Workers: workers, Multilevel: multilevel},
 		}
 	}
 	return &server.JobSubmitRequest{
 		Op:        "partition",
-		Partition: &server.PartitionRequest{Network: net, K: k, Scheme: scheme, StabilityEps: stabEps, Seed: seed, Workers: workers},
+		Partition: &server.PartitionRequest{Network: net, K: k, Scheme: scheme, StabilityEps: stabEps, Seed: seed, Workers: workers, Multilevel: multilevel},
 	}
 }
 

@@ -109,7 +109,7 @@ func TestJobClientRoundTrip(t *testing.T) {
 	defer srv.Close()
 
 	net := clientTestNet(t)
-	req := jobRequest(net, "ASG", 4, 0, false, 0, 1, 1)
+	req := jobRequest(net, "ASG", 4, 0, false, 0, 1, 1, "auto")
 	if req.Op != "partition" || req.Partition == nil || req.Partition.K != 4 {
 		t.Fatalf("jobRequest built %+v, want a k=4 partition", req)
 	}
@@ -117,7 +117,7 @@ func TestJobClientRoundTrip(t *testing.T) {
 		t.Fatalf("submit+wait: %v", err)
 	}
 
-	sweep := jobRequest(net, "ASG", 0, 5, true, 0, 1, 1)
+	sweep := jobRequest(net, "ASG", 0, 5, true, 0, 1, 1, "auto")
 	if sweep.Op != "sweep" || sweep.Sweep == nil || sweep.Sweep.KMax != 5 {
 		t.Fatalf("jobRequest built %+v, want a k<=5 sweep", sweep)
 	}

@@ -67,6 +67,7 @@ import (
 	"syscall"
 	"time"
 
+	"roadpart/internal/core"
 	"roadpart/internal/linalg"
 	"roadpart/internal/server"
 )
@@ -108,11 +109,16 @@ func main() {
 	jobAttemptTimeout := flag.Duration("jobs-attempt-timeout", 0, "compute deadline per job attempt; 0 = inherit -request-timeout")
 	jobRetryBase := flag.Duration("jobs-retry-base", time.Second, "base delay between job attempts (doubles per attempt, jittered)")
 	jobRetryMax := flag.Duration("jobs-retry-max", time.Minute, "cap on the delay between job attempts")
+	multilevel := flag.String("multilevel", "auto", "default multilevel coarsening path for requests that don't set it: auto, on, off (see docs/SCALING.md)")
 	flag.Parse()
 
+	if _, err := core.ParseMultilevelMode(*multilevel); err != nil {
+		log.Fatalf("roadpartd: %v", err)
+	}
 	linalg.SetWorkers(*workers)
 	svc, err := server.NewService(server.Config{
 		Workers:           *workers,
+		Multilevel:        *multilevel,
 		DefaultTimeout:    *requestTimeout,
 		MaxTimeout:        *maxRequestTimeout,
 		MaxInFlight:       *maxInFlight,

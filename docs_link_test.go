@@ -232,31 +232,90 @@ func TestNumericsSymbolReferences(t *testing.T) {
 	t.Logf("resolved %d distinct qualified symbols from docs/NUMERICS.md", len(checked))
 }
 
-// benchMention matches a Go benchmark identifier in prose or code.
-var benchMention = regexp.MustCompile(`\bBenchmark[A-Z]\w*`)
+// scalingSymbol matches a backtick-quoted qualified Go identifier in
+// docs/SCALING.md, e.g. `coarsen.Build` or `core.Config.Multilevel`.
+// Only packages the doc actually covers are resolved.
+var scalingSymbol = regexp.MustCompile("`(coarsen|cut|core|gen|graph|traffic|metrics)\\.([A-Z]\\w*)((?:\\.\\w+)*)`")
+
+// TestScalingSymbolReferences verifies every qualified symbol named in
+// docs/SCALING.md against the source tree, the same contract
+// TestNumericsSymbolReferences applies to NUMERICS.md: the leading
+// identifier must be declared in the named internal package and any
+// trailing selector components must occur as identifiers there. The
+// scaling documentation cannot drift to symbols that were renamed away.
+func TestScalingSymbolReferences(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("docs", "SCALING.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mentions := scalingSymbol.FindAllStringSubmatch(string(doc), -1)
+	if len(mentions) == 0 {
+		t.Fatal("docs/SCALING.md names no qualified symbols — regex drift?")
+	}
+
+	pkgSource := map[string]string{}
+	source := func(pkg string) string {
+		if src, ok := pkgSource[pkg]; ok {
+			return src
+		}
+		files, err := filepath.Glob(filepath.Join("internal", pkg, "*.go"))
+		if err != nil || len(files) == 0 {
+			t.Fatalf("no Go sources for internal/%s (%v)", pkg, err)
+		}
+		var sb strings.Builder
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb.Write(data)
+			sb.WriteByte('\n')
+		}
+		pkgSource[pkg] = sb.String()
+		return pkgSource[pkg]
+	}
+
+	checked := map[string]bool{}
+	for _, m := range mentions {
+		pkg, sym, rest := m[1], m[2], m[3]
+		full := m[0]
+		if checked[full] {
+			continue
+		}
+		checked[full] = true
+		src := source(pkg)
+		decl := regexp.MustCompile(`(?m)^(?:func (?:\([^)]+\) )?|type |var |const )` + sym + `\b|^\t` + sym + ` `)
+		if !decl.MatchString(src) {
+			t.Errorf("docs/SCALING.md mentions %s but internal/%s declares no %q", full, pkg, sym)
+			continue
+		}
+		for _, part := range strings.Split(strings.TrimPrefix(rest, "."), ".") {
+			if part == "" {
+				continue
+			}
+			if !regexp.MustCompile(`\b` + part + `\b`).MatchString(src) {
+				t.Errorf("docs/SCALING.md mentions %s but %q does not occur in internal/%s", full, part, pkg)
+			}
+		}
+	}
+	t.Logf("resolved %d distinct qualified symbols from docs/SCALING.md", len(checked))
+}
+
+// benchMention matches a Go benchmark identifier in prose or code,
+// including sub-benchmark paths like `BenchmarkScale/tier=L`.
+var benchMention = regexp.MustCompile(`\bBenchmark[A-Z]\w*(?:/[\w=.-]+)*`)
 
 // benchDecl matches a benchmark function declaration in a _test.go file.
 var benchDecl = regexp.MustCompile(`(?m)^func (Benchmark[A-Z]\w*)\(`)
 
-// TestPerformanceDocBenchmarksExist verifies that every benchmark named
-// in docs/PERFORMANCE.md is declared in some _test.go file, so the
-// performance documentation cannot reference benchmarks that no longer
-// run under `make bench`.
-func TestPerformanceDocBenchmarksExist(t *testing.T) {
-	doc, err := os.ReadFile(filepath.Join("docs", "PERFORMANCE.md"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	mentioned := map[string]bool{}
-	for _, m := range benchMention.FindAllString(string(doc), -1) {
-		mentioned[m] = true
-	}
-	if len(mentioned) == 0 {
-		t.Fatal("docs/PERFORMANCE.md names no benchmarks — regex drift?")
-	}
-
-	declared := map[string]bool{}
-	err = filepath.Walk(".", func(path string, info os.FileInfo, err error) error {
+// testSources concatenates every _test.go file in the repository
+// (memoized per test run via the returned values being reused by the
+// callers below) and collects the declared benchmark names.
+func testSources(t *testing.T) (declared map[string]bool, allSource string) {
+	t.Helper()
+	declared = map[string]bool{}
+	var sb strings.Builder
+	err := filepath.Walk(".", func(path string, info os.FileInfo, err error) error {
 		if err != nil {
 			return err
 		}
@@ -273,6 +332,8 @@ func TestPerformanceDocBenchmarksExist(t *testing.T) {
 		if err != nil {
 			return err
 		}
+		sb.Write(data)
+		sb.WriteByte('\n')
 		for _, m := range benchDecl.FindAllStringSubmatch(string(data), -1) {
 			declared[m[1]] = true
 		}
@@ -281,11 +342,72 @@ func TestPerformanceDocBenchmarksExist(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return declared, sb.String()
+}
 
+// checkDocBenchmarks verifies every benchmark named in the given doc
+// against the test sources: the base name must be declared as a
+// benchmark function, and each sub-benchmark path segment (the `tier=L`
+// of `BenchmarkScale/tier=L`) must occur as a quoted string literal in
+// some _test.go file — the b.Run name that produces it.
+func checkDocBenchmarks(t *testing.T, docPath string) {
+	t.Helper()
+	doc, err := os.ReadFile(docPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mentioned := map[string]bool{}
+	for _, m := range benchMention.FindAllString(string(doc), -1) {
+		mentioned[m] = true
+	}
+	if len(mentioned) == 0 {
+		t.Fatalf("%s names no benchmarks — regex drift?", docPath)
+	}
+
+	declared, src := testSources(t)
 	for name := range mentioned {
-		if !declared[name] {
-			t.Errorf("docs/PERFORMANCE.md names %s but no _test.go file declares it", name)
+		segments := strings.Split(name, "/")
+		if !declared[segments[0]] {
+			t.Errorf("%s names %s but no _test.go file declares %s", docPath, name, segments[0])
+			continue
+		}
+		for _, seg := range segments[1:] {
+			if !strings.Contains(src, `"`+seg+`"`) {
+				t.Errorf("%s names %s but no _test.go file contains the sub-benchmark literal %q", docPath, name, seg)
+			}
 		}
 	}
-	t.Logf("checked %d benchmark names against %d declared benchmarks", len(mentioned), len(declared))
+	t.Logf("checked %d benchmark names from %s against %d declared benchmarks", len(mentioned), docPath, len(declared))
+}
+
+// TestPerformanceDocBenchmarksExist verifies that every benchmark named
+// in docs/PERFORMANCE.md is declared in some _test.go file, so the
+// performance documentation cannot reference benchmarks that no longer
+// run under `make bench`.
+func TestPerformanceDocBenchmarksExist(t *testing.T) {
+	checkDocBenchmarks(t, filepath.Join("docs", "PERFORMANCE.md"))
+}
+
+// TestScalingDocBenchmarksExist applies the same gate to
+// docs/SCALING.md, whose scale-tier table cites the BenchmarkScale
+// sub-benchmarks by their full `tier=…` paths, and additionally checks
+// the Test functions it cites (TestScaleSmokeXL and friends) exist.
+func TestScalingDocBenchmarksExist(t *testing.T) {
+	checkDocBenchmarks(t, filepath.Join("docs", "SCALING.md"))
+
+	doc, err := os.ReadFile(filepath.Join("docs", "SCALING.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, src := testSources(t)
+	tests := 0
+	for _, m := range regexp.MustCompile(`\bTest[A-Z]\w*`).FindAllString(string(doc), -1) {
+		tests++
+		if !regexp.MustCompile(`(?m)^func ` + m + `\(`).MatchString(src) {
+			t.Errorf("docs/SCALING.md names %s but no _test.go file declares it", m)
+		}
+	}
+	if tests == 0 {
+		t.Fatal("docs/SCALING.md names no Test functions — regex drift?")
+	}
 }

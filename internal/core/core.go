@@ -23,6 +23,7 @@ import (
 	"math"
 	"time"
 
+	"roadpart/internal/coarsen"
 	"roadpart/internal/cut"
 	"roadpart/internal/graph"
 	"roadpart/internal/metrics"
@@ -126,6 +127,15 @@ type Config struct {
 	// exists for warm-vs-cold benchmarks and the tests pinning that
 	// equivalence.
 	ColdWiden bool
+	// Multilevel selects the coarsen → solve → project path for module 3
+	// (docs/SCALING.md). The zero value, MultilevelAuto, engages it only
+	// when the module-3 graph reaches MultilevelThreshold nodes, so small
+	// networks stay on the flat path bit for bit.
+	Multilevel MultilevelMode
+	// MultilevelThreshold is the module-3 node count at or above which
+	// MultilevelAuto engages; 0 selects DefaultMultilevelThreshold. It is
+	// never read when Multilevel is Off or On.
+	MultilevelThreshold int
 }
 
 // Normalized returns the config with every zero-value "use a default"
@@ -167,6 +177,13 @@ func (c Config) Normalized() Config {
 	}
 	if c.DenseCutoff == 0 {
 		c.DenseCutoff = 900
+	}
+	if c.Multilevel == MultilevelAuto {
+		if c.MultilevelThreshold == 0 {
+			c.MultilevelThreshold = DefaultMultilevelThreshold
+		}
+	} else {
+		c.MultilevelThreshold = 0 // never read when the mode is forced
 	}
 	c.Workers = 0
 	return c
@@ -214,6 +231,10 @@ type Pipeline struct {
 	// sweep over k (the ANS-minimum selection) pays for the eigenproblem
 	// once.
 	spec *cut.Spectral
+	// hier is the contraction hierarchy when the multilevel path engaged
+	// (Config.Multilevel, docs/SCALING.md), nil on the flat path. spec
+	// then factors hier's coarsest graph and projects labels back down.
+	hier *coarsen.Hierarchy
 
 	m1, m2 time.Duration
 }
@@ -312,10 +333,25 @@ func newPipelineFromGraph(ctx context.Context, g *graph.Graph, f []float64, cfg 
 		p.m2 = time.Since(t0)
 	}
 	opts := cut.Options{Seed: cfg.Seed, Restarts: cfg.Restarts, DenseCutoff: cfg.DenseCutoff, Workers: cfg.Workers, ColdWiden: cfg.ColdWiden}
+	// Module-3 graph and its per-node density feature: the mined
+	// supergraph for ASG/NSG, the similarity-weighted road graph
+	// otherwise.
+	g3, f3 := p.simG, f
 	if p.SG != nil {
-		p.spec = cut.NewSpectral(p.SG.Links, cfg.Scheme.method(), opts)
+		g3, f3 = p.SG.Links, p.SG.Features()
+	}
+	norm := cfg.Normalized()
+	multilevel := norm.Multilevel == MultilevelOn ||
+		(norm.Multilevel == MultilevelAuto && g3.N() >= norm.MultilevelThreshold)
+	if multilevel {
+		hier, err := coarsen.Build(ctx, g3, f3, coarsen.Options{Seed: int64(cfg.Seed)})
+		if err != nil {
+			return nil, err
+		}
+		p.hier = hier
+		p.spec = cut.NewSpectralLevel(hier, cfg.Scheme.method(), opts)
 	} else {
-		p.spec = cut.NewSpectral(p.simG, cfg.Scheme.method(), opts)
+		p.spec = cut.NewSpectral(g3, cfg.Scheme.method(), opts)
 	}
 	return p, nil
 }
@@ -413,12 +449,30 @@ type SweepPoint struct {
 }
 
 // MaxK returns the largest k the pipeline can produce: the supernode
-// count for supergraph schemes, the road-graph order otherwise.
+// count for supergraph schemes, the road-graph order otherwise. When the
+// multilevel path engaged, the coarsest level's order is the cap — the
+// spectral core partitions that graph.
 func (p *Pipeline) MaxK() int {
+	max := p.G.N()
 	if p.SG != nil {
-		return len(p.SG.Nodes)
+		max = len(p.SG.Nodes)
 	}
-	return p.G.N()
+	if p.hier != nil {
+		if n := p.hier.Graph().N(); n < max {
+			max = n
+		}
+	}
+	return max
+}
+
+// MultilevelLevels returns the depth of the contraction hierarchy the
+// pipeline built, or 0 when module 3 runs on the flat path — the
+// observable for "did multilevel engage" (docs/SCALING.md).
+func (p *Pipeline) MultilevelLevels() int {
+	if p.hier == nil {
+		return 0
+	}
+	return p.hier.Levels()
 }
 
 // Spectral exposes the pipeline's cached spectral partitioner, the hook

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MultilevelMode selects whether module 3 partitions the flat graph
+// directly or through the coarsen → solve → project multilevel path
+// (internal/coarsen, docs/SCALING.md).
+type MultilevelMode int
+
+const (
+	// MultilevelAuto (the zero value) engages the multilevel path when
+	// the module-3 graph has at least Config.MultilevelThreshold nodes —
+	// small networks keep the flat path's bit-identical goldens, large
+	// ones get the contraction hierarchy without opting in.
+	MultilevelAuto MultilevelMode = iota
+	// MultilevelOff always partitions the flat graph: the legacy path,
+	// bit-identical to the pre-multilevel pipeline.
+	MultilevelOff
+	// MultilevelOn always coarsens first, regardless of graph size.
+	MultilevelOn
+)
+
+// DefaultMultilevelThreshold is the module-3 node count at which
+// MultilevelAuto engages when Config.MultilevelThreshold is zero. Every
+// paper-protocol fixture (D1–M3) sits below it; the gen.ScaleTier L and
+// XL cities sit above it (docs/SCALING.md § Auto-enable).
+const DefaultMultilevelThreshold = 100000
+
+// String returns the flag spelling: "auto", "off" or "on".
+func (m MultilevelMode) String() string {
+	switch m {
+	case MultilevelOff:
+		return "off"
+	case MultilevelOn:
+		return "on"
+	default:
+		return "auto"
+	}
+}
+
+// ParseMultilevelMode parses the flag spelling used by roadpart,
+// roadpartd and the server API: "auto" (or empty), "off", "on".
+func ParseMultilevelMode(s string) (MultilevelMode, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return MultilevelAuto, nil
+	case "off":
+		return MultilevelOff, nil
+	case "on":
+		return MultilevelOn, nil
+	default:
+		return 0, fmt.Errorf("core: unknown multilevel mode %q (want auto, on or off)", s)
+	}
+}

@@ -63,3 +63,28 @@ func TestNormalizedPreservesMeaningfulFields(t *testing.T) {
 		t.Fatalf("negative DenseCutoff sentinel overridden: %d", n.DenseCutoff)
 	}
 }
+
+func TestNormalizedCanonicalizesMultilevel(t *testing.T) {
+	// Auto mode resolves the threshold default so two spellings of "auto
+	// at the default threshold" share a cache key.
+	auto := Config{Scheme: AG}.Normalized()
+	if auto.Multilevel != MultilevelAuto || auto.MultilevelThreshold != DefaultMultilevelThreshold {
+		t.Fatalf("auto normalized to (%v, %d), want (auto, %d)",
+			auto.Multilevel, auto.MultilevelThreshold, DefaultMultilevelThreshold)
+	}
+	explicit := Config{Scheme: AG, MultilevelThreshold: DefaultMultilevelThreshold}.Normalized()
+	if auto != explicit {
+		t.Fatalf("default vs explicit threshold split configs: %+v vs %+v", auto, explicit)
+	}
+	// Off and On never read the threshold, so it must be zeroed out of
+	// the key.
+	off1 := Config{Scheme: AG, Multilevel: MultilevelOff, MultilevelThreshold: 5}.Normalized()
+	off2 := Config{Scheme: AG, Multilevel: MultilevelOff}.Normalized()
+	if off1 != off2 {
+		t.Fatalf("dead threshold split Off configs: %+v vs %+v", off1, off2)
+	}
+	on := Config{Scheme: AG, Multilevel: MultilevelOn, MultilevelThreshold: 5}.Normalized()
+	if on.MultilevelThreshold != 0 {
+		t.Fatalf("On kept dead threshold %d", on.MultilevelThreshold)
+	}
+}

@@ -1,0 +1,40 @@
+package cut
+
+import (
+	"context"
+
+	"roadpart/internal/graph"
+)
+
+// Level abstracts the graph a Spectral solver operates on. The flat
+// (legacy) path solves directly on the finest graph; the multilevel
+// path (internal/coarsen, docs/SCALING.md) solves on the coarsest graph
+// of a contraction hierarchy and projects the labels back down.
+//
+// Graph returns the graph the spectral stages actually factor — for a
+// hierarchy this is the coarsest level. ProjectToFinest maps a labeling
+// of Graph()'s nodes onto the finest graph, refining along the way if
+// the level supports it. Implementations must be deterministic: the
+// same labels must always project to the same finest labeling.
+type Level interface {
+	Graph() *graph.Graph
+	ProjectToFinest(ctx context.Context, labels []int, k int) ([]int, int, error)
+}
+
+// FlatLevel is the identity Level: a single flat graph with no
+// coarsening. ProjectToFinest returns its inputs verbatim, which keeps
+// the legacy path bit-identical to the pre-multilevel pipeline.
+type FlatLevel struct {
+	g *graph.Graph
+}
+
+// Flat wraps g as a single-level hierarchy.
+func Flat(g *graph.Graph) FlatLevel { return FlatLevel{g: g} }
+
+// Graph returns the wrapped graph.
+func (l FlatLevel) Graph() *graph.Graph { return l.g }
+
+// ProjectToFinest is the identity projection.
+func (l FlatLevel) ProjectToFinest(_ context.Context, labels []int, k int) ([]int, int, error) {
+	return labels, k, nil
+}

@@ -1,0 +1,143 @@
+package cut
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBoundaryRefineNeverWorsens(t *testing.T) {
+	g := barbell(8, 1, 0.3)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		labels := make([]int, g.N())
+		for i := range labels {
+			labels[i] = i / 8 // natural halves
+		}
+		// Flip a few vertices across the cut.
+		for f := 0; f < 3; f++ {
+			v := rng.Intn(g.N())
+			labels[v] = 1 - labels[v]
+		}
+		// Guard against a flip emptying a side.
+		counts := [2]int{}
+		for _, l := range labels {
+			counts[l]++
+		}
+		if counts[0] == 0 || counts[1] == 0 {
+			continue
+		}
+		before, err := AlphaCutValue(g, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moves, err := RefineAlphaCutBoundary(g, labels, 2, BoundaryRefineOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := AlphaCutValue(g, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after > before+1e-12 {
+			t.Fatalf("trial %d: boundary refinement worsened αCut %v -> %v (%d moves)", trial, before, after, moves)
+		}
+	}
+}
+
+func TestBoundaryRefineRecoversBarbellSplit(t *testing.T) {
+	// One vertex on the wrong side of a clean barbell: refinement must
+	// move it back (the clique pull dominates the bridge).
+	g := barbell(8, 1, 0.1)
+	labels := make([]int, g.N())
+	for i := range labels {
+		labels[i] = i / 8
+	}
+	labels[3] = 1
+	moves, err := RefineAlphaCutBoundary(g, labels, 2, BoundaryRefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves == 0 {
+		t.Fatal("no moves on an obviously misassigned vertex")
+	}
+	for i := 0; i < 8; i++ {
+		if labels[i] != labels[0] {
+			t.Fatalf("left clique split after refinement: %v", labels[:8])
+		}
+	}
+	for i := 8; i < 16; i++ {
+		if labels[i] != labels[8] {
+			t.Fatalf("right clique split after refinement: %v", labels[8:])
+		}
+	}
+	if labels[0] == labels[8] {
+		t.Fatal("refinement merged the barbell halves")
+	}
+}
+
+func TestBoundaryRefinePreservesAllParts(t *testing.T) {
+	g := barbell(5, 1, 0.2)
+	labels := make([]int, g.N())
+	for i := range labels {
+		labels[i] = i % 3
+	}
+	if _, err := RefineAlphaCutBoundary(g, labels, 3, BoundaryRefineOptions{MaxPasses: 8}); err != nil {
+		t.Fatal(err)
+	}
+	present := make([]bool, 3)
+	for _, l := range labels {
+		present[l] = true
+	}
+	for p, ok := range present {
+		if !ok {
+			t.Fatalf("boundary refinement emptied partition %d", p)
+		}
+	}
+}
+
+func TestBoundaryRefineDeterministic(t *testing.T) {
+	g := barbell(7, 1, 0.4)
+	mk := func() []int {
+		labels := make([]int, g.N())
+		for i := range labels {
+			labels[i] = (i * 5) % 2
+		}
+		return labels
+	}
+	a, b := mk(), mk()
+	ma, err := RefineAlphaCutBoundary(g, a, 2, BoundaryRefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := RefineAlphaCutBoundary(g, b, 2, BoundaryRefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma != mb {
+		t.Fatalf("move counts differ across identical runs: %d vs %d", ma, mb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("labels differ at %d across identical runs", i)
+		}
+	}
+}
+
+func TestBoundaryRefineValidation(t *testing.T) {
+	g := barbell(4, 1, 0.3)
+	if _, err := RefineAlphaCutBoundary(g, make([]int, 3), 2, BoundaryRefineOptions{}); err == nil {
+		t.Error("short label slice accepted")
+	}
+	bad := make([]int, g.N())
+	bad[0] = 5
+	if _, err := RefineAlphaCutBoundary(g, bad, 2, BoundaryRefineOptions{}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	sparse := make([]int, g.N())
+	for i := range sparse {
+		sparse[i] = 2 // label 0,1 unused
+	}
+	if _, err := RefineAlphaCutBoundary(g, sparse, 3, BoundaryRefineOptions{}); err == nil {
+		t.Error("non-dense labels accepted")
+	}
+}

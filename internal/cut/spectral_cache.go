@@ -46,7 +46,8 @@ var (
 // cached — surviving waiters promote one of themselves to a fresh
 // flight under their own, still-live contexts.
 type Spectral struct {
-	g      *graph.Graph
+	level  Level
+	g      *graph.Graph // level.Graph(), cached — the graph the solver factors
 	method Method
 	opts   Options
 
@@ -68,7 +69,17 @@ type specFlight struct {
 // normalized through the same Options.normalized as Partition, so the
 // cached and one-shot paths can never apply different defaults.
 func NewSpectral(g *graph.Graph, method Method, opts Options) *Spectral {
-	return &Spectral{g: g, method: method, opts: opts.normalized()}
+	return NewSpectralLevel(Flat(g), method, opts)
+}
+
+// NewSpectralLevel prepares a cached spectral partitioner over an
+// abstract graph level: the eigendecomposition, clustering and k-repair
+// stages run on level.Graph() (for a multilevel hierarchy, the coarsest
+// graph), and every result is mapped back to the finest graph through
+// level.ProjectToFinest before it is returned (docs/SCALING.md).
+// NewSpectral is the Flat special case.
+func NewSpectralLevel(level Level, method Method, opts Options) *Spectral {
+	return &Spectral{level: level, g: level.Graph(), method: method, opts: opts.normalized()}
 }
 
 // Partition splits the graph into k partitions, reusing the cached
@@ -87,7 +98,11 @@ func (s *Spectral) PartitionCtx(ctx context.Context, k int) (*Result, error) {
 		return nil, fmt.Errorf("cut: k=%d out of range [1,%d]", k, n)
 	}
 	if k == 1 {
-		return &Result{Assign: make([]int, n), K: 1, KPrime: 1}, nil
+		fine, fineK, err := s.level.ProjectToFinest(ctx, make([]int, n), 1)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Assign: fine, K: fineK, KPrime: 1}, nil
 	}
 	eb := getEmbedBuf()
 	rows, err := s.rows(ctx, k, eb)
@@ -118,6 +133,14 @@ func (s *Spectral) PartitionCtx(ctx context.Context, k int) (*Result, error) {
 		}
 	}
 	res.Assign, res.K = renumber(labels)
+	// Map the (possibly coarse) labeling down to the finest graph. For the
+	// flat path this is the identity and the result above is returned
+	// unchanged bit for bit.
+	fine, fineK, err := s.level.ProjectToFinest(ctx, res.Assign, res.K)
+	if err != nil {
+		return nil, err
+	}
+	res.Assign, res.K = fine, fineK
 	return res, nil
 }
 

@@ -1,0 +1,259 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"roadpart/internal/roadnet"
+)
+
+// Tier names a synthetic-city scale class (docs/SCALING.md). ScaleTier
+// cities follow the empirical scaling laws of Lämmer et al. (PAPERS.md)
+// rather than the clean Table-1 grids: mean intersection degree ≈ 3.1
+// and heavy-tailed (log-normal) segment lengths, so the scale benchmarks
+// exercise realistic topology, not an artifact of uniform lattices.
+type Tier int
+
+const (
+	// TierS is a district: ~1.25e3 intersections, ~2.5e3 directed segments.
+	TierS Tier = iota
+	// TierM is a town: ~1.25e4 intersections, ~2.5e4 segments.
+	TierM
+	// TierL is a metropolis: ~6.5e4 intersections, ~1.3e5 segments —
+	// above core.DefaultMultilevelThreshold, so partitioning it engages
+	// the multilevel path automatically.
+	TierL
+	// TierXL is a megacity: ~5.25e5 intersections, ~1.06e6 segments —
+	// the million-node tier of docs/SCALING.md.
+	TierXL
+)
+
+// tierIntersections maps each tier to its intersection count. With the
+// fixed degree law (2·1.55 ≈ 3.1 road endpoints per intersection) and
+// ~30% two-way promotion, the directed segment count comes out at
+// ≈ 2.015× the intersection count.
+func (t Tier) intersections() int {
+	switch t {
+	case TierS:
+		return 1250
+	case TierM:
+		return 12500
+	case TierL:
+		return 65000
+	case TierXL:
+		return 525000
+	default:
+		return 0
+	}
+}
+
+// String returns the tier spelling used by flags and benchmark names:
+// "S", "M", "L", "XL".
+func (t Tier) String() string {
+	switch t {
+	case TierS:
+		return "S"
+	case TierM:
+		return "M"
+	case TierL:
+		return "L"
+	case TierXL:
+		return "XL"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// ParseTier parses a tier spelling ("S", "M", "L", "XL", any case).
+func ParseTier(s string) (Tier, error) {
+	switch strings.ToUpper(s) {
+	case "S":
+		return TierS, nil
+	case "M":
+		return TierM, nil
+	case "L":
+		return TierL, nil
+	case "XL":
+		return TierXL, nil
+	default:
+		return 0, fmt.Errorf("gen: unknown scale tier %q (want S, M, L or XL)", s)
+	}
+}
+
+// ScaleTier generates the synthetic city for one scale tier. The layout
+// is a lattice with log-normal row and column pitches — segment lengths
+// inherit the heavy tail Lämmer et al. measure in real cities — thinned
+// to a mean intersection degree of ≈ 3.1 by removing random non-bridging
+// roads, with ≈ 30% of the kept roads promoted to two-way and the rest
+// emitted one-way in alternating downtown fashion. Densities are zero;
+// populate them with traffic.SyntheticField or traffic.Simulate. The
+// network is a pure function of (t, seed).
+func ScaleTier(t Tier, seed uint64) (*roadnet.Network, error) {
+	ni := t.intersections()
+	if ni == 0 {
+		return nil, fmt.Errorf("gen: unknown scale tier %d", int(t))
+	}
+	rng := NewRNG(seed)
+
+	// Lattice shape, as in City: near-square with the tail of the last
+	// row carved away so the intersection count is hit exactly.
+	cols := int(math.Ceil(math.Sqrt(float64(ni))))
+	rows := (ni + cols - 1) / cols
+	exists := func(r, c int) bool {
+		return r >= 0 && c >= 0 && r < rows && c < cols && r*cols+c < ni
+	}
+	id := func(r, c int) int { return r*cols + c }
+
+	// Heavy-tailed geometry: each row and column carries its own
+	// log-normal pitch (median 80 m, σ = 0.9), so block lengths span
+	// roughly an order of magnitude like the empirical length
+	// distributions, while the lattice stays planar.
+	const pitchMedian, pitchSigma = 80.0, 0.9
+	colX := make([]float64, cols)
+	rowY := make([]float64, rows)
+	for c := 1; c < cols; c++ {
+		colX[c] = colX[c-1] + pitchMedian*math.Exp(pitchSigma*rng.NormFloat64())
+	}
+	for r := 1; r < rows; r++ {
+		rowY[r] = rowY[r-1] + pitchMedian*math.Exp(pitchSigma*rng.NormFloat64())
+	}
+
+	net := &roadnet.Network{Intersections: make([]roadnet.Intersection, 0, ni)}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if !exists(r, c) {
+				continue
+			}
+			net.Intersections = append(net.Intersections, roadnet.Intersection{
+				ID: id(r, c),
+				X:  colX[c] + 0.1*pitchMedian*(2*rng.Float64()-1),
+				Y:  rowY[r] + 0.1*pitchMedian*(2*rng.Float64()-1),
+			})
+		}
+	}
+
+	type road struct {
+		a, b       int
+		horizontal bool
+		r, c       int
+	}
+	roads := make([]road, 0, 2*ni)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if !exists(r, c) {
+				continue
+			}
+			if exists(r, c+1) {
+				roads = append(roads, road{a: id(r, c), b: id(r, c+1), horizontal: true, r: r, c: c})
+			}
+			if exists(r+1, c) {
+				roads = append(roads, road{a: id(r, c), b: id(r+1, c), r: r, c: c})
+			}
+		}
+	}
+
+	// Spanning tree (union–find) marks the roads that must survive the
+	// degree thinning.
+	parent := make([]int, ni)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	tree := make([]bool, len(roads))
+	treeCount := 0
+	for i, rd := range roads {
+		ra, rb := find(rd.a), find(rd.b)
+		if ra != rb {
+			parent[ra] = rb
+			tree[i] = true
+			treeCount++
+		}
+	}
+	if treeCount != ni-1 {
+		return nil, fmt.Errorf("gen: internal error: lattice not connected (%d tree edges for %d nodes)", treeCount, ni)
+	}
+
+	// Degree law: keep 1.55·ni roads so the mean intersection degree is
+	// 2·keep/ni ≈ 3.1; promote 30% of them to two-way, putting the
+	// directed segment count at ≈ 2.015·ni.
+	keep := int(1.55 * float64(ni))
+	if keep < treeCount {
+		keep = treeCount
+	}
+	if keep > len(roads) {
+		keep = len(roads)
+	}
+	twoWay := int(0.30 * float64(keep))
+
+	removed := make([]bool, len(roads))
+	var removable []int
+	for i := range roads {
+		if !tree[i] {
+			removable = append(removable, i)
+		}
+	}
+	perm := rng.Perm(len(removable))
+	for i := 0; i < len(roads)-keep && i < len(removable); i++ {
+		removed[removable[perm[i]]] = true
+	}
+
+	var kept []int
+	for i := range roads {
+		if !removed[i] {
+			kept = append(kept, i)
+		}
+	}
+	isTwoWay := make([]bool, len(roads))
+	perm = rng.Perm(len(kept))
+	for i := 0; i < twoWay && i < len(kept); i++ {
+		isTwoWay[kept[perm[i]]] = true
+	}
+
+	// Dense intersection ids let position lookup be a slice, which
+	// matters at the XL tier's half-million intersections.
+	px := make([]float64, ni)
+	py := make([]float64, ni)
+	for _, p := range net.Intersections {
+		px[p.ID], py[p.ID] = p.X, p.Y
+	}
+	net.Segments = make([]roadnet.Segment, 0, keep+twoWay)
+	addSeg := func(from, to int) {
+		d := math.Hypot(px[from]-px[to], py[from]-py[to])
+		if d < 1 {
+			d = 1
+		}
+		net.Segments = append(net.Segments, roadnet.Segment{
+			ID: len(net.Segments), From: from, To: to, Length: d,
+		})
+	}
+	for i, rd := range roads {
+		if removed[i] {
+			continue
+		}
+		from, to := rd.a, rd.b
+		if rd.horizontal {
+			if rd.r%2 == 1 {
+				from, to = to, from
+			}
+		} else if rd.c%2 == 1 {
+			from, to = to, from
+		}
+		addSeg(from, to)
+		if isTwoWay[i] {
+			addSeg(to, from)
+		}
+	}
+
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: generated network invalid: %w", err)
+	}
+	return net, nil
+}

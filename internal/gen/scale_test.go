@@ -1,0 +1,149 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestScaleTierS(t *testing.T) {
+	net, err := ScaleTier(TierS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := net.Stats()
+	// Segment count tracks ~2.015 segments per intersection (keep=1.55·ni
+	// roads, 30% two-way); the carve and spanning-tree clamp wiggle it a
+	// little.
+	if st.Intersections < 1000 || st.Intersections > 1500 {
+		t.Errorf("TierS intersections = %d, want ~1250", st.Intersections)
+	}
+	if st.Segments < 2000 || st.Segments > 3000 {
+		t.Errorf("TierS segments = %d, want ~2518", st.Segments)
+	}
+
+	// Mean intersection degree (unique unordered road pairs) should sit
+	// in the Lämmer range ~3.1 rather than the full lattice's 4.
+	type pair struct{ a, b int }
+	pairs := make(map[pair]bool)
+	deg := make(map[int]int)
+	for _, seg := range net.Segments {
+		a, b := seg.From, seg.To
+		if a > b {
+			a, b = b, a
+		}
+		if !pairs[pair{a, b}] {
+			pairs[pair{a, b}] = true
+			deg[a]++
+			deg[b]++
+		}
+	}
+	mean := 2 * float64(len(pairs)) / float64(st.Intersections)
+	if mean < 2.7 || mean > 3.5 {
+		t.Errorf("TierS mean degree = %.2f, want ~3.1", mean)
+	}
+
+	// Heavy-tailed segment lengths: the log-normal pitch distribution
+	// should spread p99 well above the median.
+	lengths := make([]float64, 0, len(net.Segments))
+	for _, seg := range net.Segments {
+		lengths = append(lengths, seg.Length)
+	}
+	sort.Float64s(lengths)
+	p50 := lengths[len(lengths)/2]
+	p99 := lengths[len(lengths)*99/100]
+	if p99 < 3*p50 {
+		t.Errorf("TierS length tail p99=%.1f p50=%.1f; want p99 >= 3*p50 for a heavy-tailed pitch distribution", p99, p50)
+	}
+
+	if err := net.Validate(); err != nil {
+		t.Errorf("TierS network invalid: %v", err)
+	}
+}
+
+func TestScaleTierDeterministic(t *testing.T) {
+	a, err := ScaleTier(TierS, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScaleTier(TierS, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Segments) != len(b.Segments) {
+		t.Fatalf("segment counts differ: %d vs %d", len(a.Segments), len(b.Segments))
+	}
+	for i := range a.Segments {
+		sa, sb := a.Segments[i], b.Segments[i]
+		if sa.From != sb.From || sa.To != sb.To || sa.Length != sb.Length {
+			t.Fatalf("segment %d differs across identical seeds", i)
+		}
+	}
+	c, err := ScaleTier(TierS, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Segments) == len(a.Segments) {
+		same := true
+		for i := range a.Segments {
+			if a.Segments[i].Length != c.Segments[i].Length {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("seeds 7 and 8 produced identical networks")
+		}
+	}
+}
+
+func TestScaleTierMGrows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TierM generation in -short mode")
+	}
+	net, err := ScaleTier(TierM, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := net.Stats()
+	if st.Segments < 20000 || st.Segments > 31000 {
+		t.Errorf("TierM segments = %d, want ~25187", st.Segments)
+	}
+}
+
+func TestParseTier(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Tier
+	}{
+		{"S", TierS}, {"s", TierS}, {"M", TierM}, {"l", TierL}, {"XL", TierXL}, {"xl", TierXL},
+	} {
+		got, err := ParseTier(tc.in)
+		if err != nil {
+			t.Errorf("ParseTier(%q): %v", tc.in, err)
+		} else if got != tc.want {
+			t.Errorf("ParseTier(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "XXL", "tiny"} {
+		if _, err := ParseTier(bad); err == nil {
+			t.Errorf("ParseTier(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTierString(t *testing.T) {
+	for _, tc := range []struct {
+		tier Tier
+		want string
+	}{
+		{TierS, "S"}, {TierM, "M"}, {TierL, "L"}, {TierXL, "XL"},
+	} {
+		if got := tc.tier.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.tier, got, tc.want)
+		}
+		rt, err := ParseTier(tc.want)
+		if err != nil || rt != tc.tier {
+			t.Errorf("ParseTier(%q) round-trip = %v, %v", tc.want, rt, err)
+		}
+	}
+}

@@ -36,8 +36,16 @@ var Stages = []StageInfo{
 	{Module: "2", Name: "full_kmeans"},
 	{Module: "2", Name: "stability_split"},
 	{Module: "2", Name: "supergraph_merge"},
+	// coarsen runs during pipeline construction when the multilevel path
+	// engages (docs/SCALING.md); it is a sibling of the module-3 stages,
+	// not contained in any of them.
+	{Module: "3", Name: "coarsen"},
 	{Module: "3", Name: "spectral_cut"},
 	{Module: "3", Name: "alpha_cut_refine"},
+	// project/refine run once per uncoarsening step of the multilevel
+	// path, inside spectral_cut's span.
+	{Module: "3", Name: "project", Nested: true},
+	{Module: "3", Name: "refine", Nested: true},
 	// The eigendecomposition runs under the single-flight cache: inside
 	// spectral_cut on a cold call, or under k_sweep warming. Its time is
 	// therefore already counted above.

@@ -79,6 +79,10 @@ func hashConfig(h *hasher, cfg core.Config) {
 	h.i64(int64(cfg.Weighting))
 	h.boolean(cfg.Refine)
 	h.u64(cfg.Seed)
+	// The multilevel path changes module-3 output, so both the mode and
+	// the (normalized) auto-enable threshold are part of the identity.
+	h.i64(int64(cfg.Multilevel))
+	h.i64(int64(cfg.MultilevelThreshold))
 }
 
 // PartitionKey fingerprints one partition request: network structure,

@@ -137,10 +137,25 @@ func (s *service) partitionConfig(p *PartitionRequest) (core.Config, error) {
 	cfg.StabilityEps = p.StabilityEps
 	cfg.Refine = p.Refine
 	cfg.Workers = s.workers(p.Workers)
+	cfg.Multilevel, err = s.multilevel(p.Multilevel)
+	if err != nil {
+		return cfg, err
+	}
 	if p.Network == nil {
 		return cfg, fmt.Errorf("missing network")
 	}
 	return cfg, p.Network.Validate()
+}
+
+// multilevel resolves a request's multilevel field against the server
+// default: the request wins when set, otherwise Config.Multilevel, and
+// both spellings go through core.ParseMultilevelMode.
+func (s *service) multilevel(req string) (core.MultilevelMode, error) {
+	v := req
+	if v == "" {
+		v = s.cfg.Multilevel
+	}
+	return core.ParseMultilevelMode(v)
 }
 
 // sweepConfig resolves and validates a sweep document, applying the
@@ -152,6 +167,10 @@ func (s *service) sweepConfig(sw *SweepRequest) (core.Config, int, int, error) {
 		return cfg, 0, 0, err
 	}
 	cfg.Workers = s.workers(sw.Workers)
+	cfg.Multilevel, err = s.multilevel(sw.Multilevel)
+	if err != nil {
+		return cfg, 0, 0, err
+	}
 	if sw.Network == nil {
 		return cfg, 0, 0, fmt.Errorf("missing network")
 	}

@@ -67,6 +67,10 @@ type PartitionRequest struct {
 	// stages; 0 uses the server default. Results are identical for every
 	// worker count at the same seed.
 	Workers int `json:"workers,omitempty"`
+	// Multilevel selects the multilevel coarsening path for this request:
+	// "auto", "on" or "off" (docs/SCALING.md). Empty uses the server
+	// default (Config.Multilevel, itself defaulting to auto).
+	Multilevel string `json:"multilevel,omitempty"`
 	// TimeoutMs bounds this request's compute time in milliseconds,
 	// capped at the server's MaxTimeout. 0 uses the server default.
 	// An exceeded budget returns 408 with the partial work discarded.
@@ -104,6 +108,9 @@ type SweepRequest struct {
 	// Workers bounds the goroutines serving this request's parallel
 	// stages; 0 uses the server default.
 	Workers int `json:"workers,omitempty"`
+	// Multilevel selects the multilevel coarsening path: "auto", "on" or
+	// "off" (docs/SCALING.md). Empty uses the server default.
+	Multilevel string `json:"multilevel,omitempty"`
 	// TimeoutMs bounds this request's compute time in milliseconds,
 	// capped at the server's MaxTimeout. 0 uses the server default.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
@@ -141,6 +148,10 @@ type Config struct {
 	// "no cap" is intentionally not expressible — an uncapped client
 	// deadline would let one request pin a compute slot indefinitely.
 	MaxTimeout time.Duration
+	// Multilevel is the default multilevel coarsening mode applied when a
+	// request leaves its multilevel field empty: "auto" (or empty), "on"
+	// or "off" (core.ParseMultilevelMode, docs/SCALING.md).
+	Multilevel string
 	// MaxInFlight bounds concurrently computing partition/sweep
 	// requests. 0 disables admission control.
 	MaxInFlight int
