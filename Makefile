@@ -5,8 +5,9 @@
 # smoke check (one short benchmark through cmd/benchdiff), a regression
 # diff of the anchor benchmarks against the latest BENCH_<n>.json
 # (bench-check), the XL-tier multilevel smoke (scale-smoke, see
-# docs/SCALING.md), the job-durability chaos suite (chaos-smoke), and
-# the docs checks (gofmt drift + relative-link rot in *.md).
+# docs/SCALING.md), the job-durability chaos suite (chaos-smoke), the
+# sharded-serving integration suite (cluster-smoke, docs/DISTRIBUTED.md),
+# and the docs checks (gofmt drift + relative-link rot in *.md).
 
 GO ?= go
 FUZZTIME ?= 10s
@@ -30,7 +31,7 @@ BENCH_TABLE3_ANCHOR ?= BENCH_4.json
 BENCH_TABLE3_GATE ?= -0.40
 BENCH_SWEEP_RATIO ?= 1.5
 
-.PHONY: build vet test race bench bench-smoke bench-check bench-scale scale-smoke fuzz-smoke sse-smoke chaos-smoke docs-check numerics-check verify
+.PHONY: build vet test race bench bench-smoke bench-check bench-scale scale-smoke fuzz-smoke sse-smoke chaos-smoke cluster-smoke docs-check numerics-check verify
 
 build:
 	$(GO) build ./...
@@ -133,6 +134,15 @@ fuzz-smoke:
 sse-smoke:
 	$(GO) test -race -run '^(TestDensitiesStream|TestWatchStreamsEvents|TestWatchDisconnectReleasesSubscriber)$$' ./internal/server
 
+# cluster-smoke runs the sharded multi-daemon integration suite under
+# the race detector: 3 in-process daemons over real listeners, pinning
+# key affinity, byte-identical cross-shard responses, remote-hit cache
+# semantics, fingerprint-routed job polls, unbuffered SSE through the
+# forwarding hop, owner-death failover/rejoin and the rendezvous remap
+# bound (see internal/server/cluster_test.go and docs/DISTRIBUTED.md).
+cluster-smoke:
+	$(GO) test -race -short -run '^(TestCluster|TestLatEWMA)' ./internal/server
+
 # chaos-smoke runs the job-durability fault-injection suite under the
 # race detector: the journal is killed between every pair of records
 # and the manager restarted, asserting no acknowledged job is lost and
@@ -158,4 +168,4 @@ docs-check:
 	$(GO) vet ./...
 	$(GO) test -run TestDocsLinks .
 
-verify: build vet test race fuzz-smoke bench-smoke bench-check scale-smoke sse-smoke chaos-smoke docs-check numerics-check
+verify: build vet test race fuzz-smoke bench-smoke bench-check scale-smoke sse-smoke chaos-smoke cluster-smoke docs-check numerics-check

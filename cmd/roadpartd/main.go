@@ -43,6 +43,17 @@
 // startup, so a restarted daemon keeps its hot set (see docs/FORMATS.md
 // and docs/TUNING.md § Result caching).
 //
+// With -self and -peers, N daemons form a shared-nothing cluster:
+// rendezvous hashing over the result-cache fingerprints assigns each
+// (structure, density, config) to exactly one shard, and the other
+// shards forward matching requests there, so the cluster's aggregate
+// hit rate matches one big daemon's instead of N cold caches. Responses
+// crossing the hop carry X-Roadpart-Cache: remote-hit|remote-miss and
+// X-Roadpart-Shard names the shard that computed. A dead peer degrades
+// hit rate, not availability (the receiving shard computes locally).
+// Clients need no changes — any shard answers any request correctly.
+// See docs/DISTRIBUTED.md for ring semantics and failure modes.
+//
 // Async jobs are durable when -jobs-dir is set: submissions and state
 // transitions are written to a roadpart-jobs/v1 journal before they are
 // acknowledged, and a restarted daemon replays incomplete jobs. The pool
@@ -64,6 +75,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -110,10 +122,27 @@ func main() {
 	jobRetryBase := flag.Duration("jobs-retry-base", time.Second, "base delay between job attempts (doubles per attempt, jittered)")
 	jobRetryMax := flag.Duration("jobs-retry-max", time.Minute, "cap on the delay between job attempts")
 	multilevel := flag.String("multilevel", "auto", "default multilevel coarsening path for requests that don't set it: auto, on, off (see docs/SCALING.md)")
+
+	// Sharded multi-daemon mode: with -self and -peers set, every
+	// content-addressed request is routed to the shard whose rendezvous
+	// position owns its fingerprint (docs/DISTRIBUTED.md). Clients stay
+	// dumb — any shard answers any request correctly.
+	self := flag.String("self", "", "this daemon's advertised base URL, e.g. http://10.0.0.1:8080; enables sharded mode together with -peers")
+	peerList := flag.String("peers", "", "comma-separated peer base URLs (the full cluster, with or without -self); every daemon must be started with the same set")
+	peerTimeout := flag.Duration("peer-timeout", 0, "time limit for one forwarded peer exchange; 0 = -max-request-timeout plus headroom")
 	flag.Parse()
 
 	if _, err := core.ParseMultilevelMode(*multilevel); err != nil {
 		log.Fatalf("roadpartd: %v", err)
+	}
+	var peerURLs []string
+	for _, p := range strings.Split(*peerList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerURLs = append(peerURLs, p)
+		}
+	}
+	if len(peerURLs) > 0 && *self == "" {
+		log.Fatalf("roadpartd: -peers requires -self (the daemon must know its own base URL to find itself on the ring)")
 	}
 	linalg.SetWorkers(*workers)
 	svc, err := server.NewService(server.Config{
@@ -133,9 +162,15 @@ func main() {
 		JobAttemptTimeout: *jobAttemptTimeout,
 		JobRetryBase:      *jobRetryBase,
 		JobRetryMax:       *jobRetryMax,
+		Self:              *self,
+		Peers:             peerURLs,
+		PeerTimeout:       *peerTimeout,
 	})
 	if err != nil {
 		log.Fatalf("roadpartd: %v", err)
+	}
+	if *self != "" {
+		log.Printf("roadpartd sharded mode: self=%s peers=%s", *self, *peerList)
 	}
 	if *jobsDir == "" {
 		log.Printf("roadpartd jobs are memory-only (set -jobs-dir for a crash-recovery journal)")

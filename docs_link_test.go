@@ -168,20 +168,21 @@ func TestNumericsGoldenTable(t *testing.T) {
 // Only packages the doc actually covers are resolved.
 var numericsSymbol = regexp.MustCompile("`(eigen|cut|core|kmeans|linalg|temporal)\\.([A-Z]\\w*)((?:\\.\\w+)*)`")
 
-// TestNumericsSymbolReferences verifies every qualified symbol named in
-// docs/NUMERICS.md against the source tree: the leading identifier must
-// be declared in the named internal package (type, func, var, const or
-// method), and any trailing selector components must at least occur as
-// identifiers there. The numerics documentation cannot drift to symbols
-// that were renamed away.
-func TestNumericsSymbolReferences(t *testing.T) {
-	doc, err := os.ReadFile(filepath.Join("docs", "NUMERICS.md"))
+// checkDocSymbols verifies every qualified symbol the given regexp
+// extracts from the doc against the source tree: the leading identifier
+// must be declared in the named internal package (type, func, var,
+// const or method), and any trailing selector components must at least
+// occur as identifiers there. Documentation checked this way cannot
+// drift to symbols that were renamed away.
+func checkDocSymbols(t *testing.T, docPath string, symbol *regexp.Regexp) {
+	t.Helper()
+	doc, err := os.ReadFile(docPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mentions := numericsSymbol.FindAllStringSubmatch(string(doc), -1)
+	mentions := symbol.FindAllStringSubmatch(string(doc), -1)
 	if len(mentions) == 0 {
-		t.Fatal("docs/NUMERICS.md names no qualified symbols — regex drift?")
+		t.Fatalf("%s names no qualified symbols — regex drift?", docPath)
 	}
 
 	pkgSource := map[string]string{}
@@ -217,7 +218,7 @@ func TestNumericsSymbolReferences(t *testing.T) {
 		src := source(pkg)
 		decl := regexp.MustCompile(`(?m)^(?:func (?:\([^)]+\) )?|type |var |const )` + sym + `\b|^\t` + sym + ` `)
 		if !decl.MatchString(src) {
-			t.Errorf("docs/NUMERICS.md mentions %s but internal/%s declares no %q", full, pkg, sym)
+			t.Errorf("%s mentions %s but internal/%s declares no %q", docPath, full, pkg, sym)
 			continue
 		}
 		for _, part := range strings.Split(strings.TrimPrefix(rest, "."), ".") {
@@ -225,11 +226,17 @@ func TestNumericsSymbolReferences(t *testing.T) {
 				continue
 			}
 			if !regexp.MustCompile(`\b` + part + `\b`).MatchString(src) {
-				t.Errorf("docs/NUMERICS.md mentions %s but %q does not occur in internal/%s", full, part, pkg)
+				t.Errorf("%s mentions %s but %q does not occur in internal/%s", docPath, full, part, pkg)
 			}
 		}
 	}
-	t.Logf("resolved %d distinct qualified symbols from docs/NUMERICS.md", len(checked))
+	t.Logf("resolved %d distinct qualified symbols from %s", len(checked), docPath)
+}
+
+// TestNumericsSymbolReferences applies checkDocSymbols to
+// docs/NUMERICS.md.
+func TestNumericsSymbolReferences(t *testing.T) {
+	checkDocSymbols(t, filepath.Join("docs", "NUMERICS.md"), numericsSymbol)
 }
 
 // scalingSymbol matches a backtick-quoted qualified Go identifier in
@@ -237,68 +244,23 @@ func TestNumericsSymbolReferences(t *testing.T) {
 // Only packages the doc actually covers are resolved.
 var scalingSymbol = regexp.MustCompile("`(coarsen|cut|core|gen|graph|traffic|metrics)\\.([A-Z]\\w*)((?:\\.\\w+)*)`")
 
-// TestScalingSymbolReferences verifies every qualified symbol named in
-// docs/SCALING.md against the source tree, the same contract
-// TestNumericsSymbolReferences applies to NUMERICS.md: the leading
-// identifier must be declared in the named internal package and any
-// trailing selector components must occur as identifiers there. The
-// scaling documentation cannot drift to symbols that were renamed away.
+// TestScalingSymbolReferences applies checkDocSymbols to
+// docs/SCALING.md.
 func TestScalingSymbolReferences(t *testing.T) {
-	doc, err := os.ReadFile(filepath.Join("docs", "SCALING.md"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	mentions := scalingSymbol.FindAllStringSubmatch(string(doc), -1)
-	if len(mentions) == 0 {
-		t.Fatal("docs/SCALING.md names no qualified symbols — regex drift?")
-	}
+	checkDocSymbols(t, filepath.Join("docs", "SCALING.md"), scalingSymbol)
+}
 
-	pkgSource := map[string]string{}
-	source := func(pkg string) string {
-		if src, ok := pkgSource[pkg]; ok {
-			return src
-		}
-		files, err := filepath.Glob(filepath.Join("internal", pkg, "*.go"))
-		if err != nil || len(files) == 0 {
-			t.Fatalf("no Go sources for internal/%s (%v)", pkg, err)
-		}
-		var sb strings.Builder
-		for _, f := range files {
-			data, err := os.ReadFile(f)
-			if err != nil {
-				t.Fatal(err)
-			}
-			sb.Write(data)
-			sb.WriteByte('\n')
-		}
-		pkgSource[pkg] = sb.String()
-		return pkgSource[pkg]
-	}
+// distributedSymbol matches a backtick-quoted qualified Go identifier
+// in docs/DISTRIBUTED.md, e.g. `peers.Ring.Owner` or
+// `jobs.FingerprintFromID`. Only packages the doc actually covers are
+// resolved.
+var distributedSymbol = regexp.MustCompile("`(peers|server|jobs|resultcache|obs)\\.([A-Z]\\w*)((?:\\.\\w+)*)`")
 
-	checked := map[string]bool{}
-	for _, m := range mentions {
-		pkg, sym, rest := m[1], m[2], m[3]
-		full := m[0]
-		if checked[full] {
-			continue
-		}
-		checked[full] = true
-		src := source(pkg)
-		decl := regexp.MustCompile(`(?m)^(?:func (?:\([^)]+\) )?|type |var |const )` + sym + `\b|^\t` + sym + ` `)
-		if !decl.MatchString(src) {
-			t.Errorf("docs/SCALING.md mentions %s but internal/%s declares no %q", full, pkg, sym)
-			continue
-		}
-		for _, part := range strings.Split(strings.TrimPrefix(rest, "."), ".") {
-			if part == "" {
-				continue
-			}
-			if !regexp.MustCompile(`\b` + part + `\b`).MatchString(src) {
-				t.Errorf("docs/SCALING.md mentions %s but %q does not occur in internal/%s", full, part, pkg)
-			}
-		}
-	}
-	t.Logf("resolved %d distinct qualified symbols from docs/SCALING.md", len(checked))
+// TestDistributedSymbolReferences applies checkDocSymbols to
+// docs/DISTRIBUTED.md, so the distributed-serving documentation cannot
+// drift away from the ring, transport and forwarding symbols it names.
+func TestDistributedSymbolReferences(t *testing.T) {
+	checkDocSymbols(t, filepath.Join("docs", "DISTRIBUTED.md"), distributedSymbol)
 }
 
 // benchMention matches a Go benchmark identifier in prose or code,

@@ -1,7 +1,15 @@
-// Distributed: the real-time regime the paper proposes in Section 6.4 —
-// partition the whole network once, then re-partition each region
-// independently as congestion evolves, and compare the cost and partition
-// drift against full global re-partitioning.
+// Distributed: the sharded multi-daemon serving tier (docs/DISTRIBUTED.md).
+// Three in-process roadpartd-equivalent daemons form a cluster via
+// rendezvous hashing over the result-cache fingerprints; the demo sends
+// the same partition request through every shard and shows that one
+// shard owns the fingerprint (key affinity), the others answer from its
+// cache across the forwarding hop (remote-hit), and killing the owner
+// degrades to a correct local compute instead of an error. It closes
+// with the rendezvous remap bound: how many of 1000 keys change owner
+// when one of three shards leaves.
+//
+// The assertions this demo prints live as a real integration test in
+// internal/server/cluster_test.go (`make cluster-smoke`).
 //
 // Run with:
 //
@@ -9,67 +17,149 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
-	"math"
-	"roadpart"
+	"net"
+	"net/http"
 	"time"
+
+	"roadpart"
+	"roadpart/internal/peers"
+	"roadpart/internal/server"
 )
 
 func main() {
-	net, err := roadpart.GenerateCity(roadpart.CityConfig{
-		TargetIntersections: 500,
-		TargetSegments:      900,
+	nw, err := roadpart.GenerateCity(roadpart.CityConfig{
+		TargetIntersections: 300,
+		TargetSegments:      520,
 		Jitter:              0.15,
 		Seed:                55,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	snaps, err := roadpart.SimulateTraffic(net, roadpart.TrafficConfig{
-		Vehicles:    2600,
-		Steps:       1200,
-		RecordEvery: 12,
-		Hotspots:    6,
-		Seed:        4,
+	snap, err := roadpart.SynthesizeField(nw, roadpart.FieldConfig{Hotspots: 4, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := roadpart.ApplyDensities(nw, snap); err != nil {
+		log.Fatal(err)
+	}
+
+	// Start a 3-shard cluster: bind all listeners first so every daemon
+	// is configured with the full membership, exactly like
+	// `roadpartd -self ... -peers ...` per host.
+	const n = 3
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	servers := make([]*http.Server, n)
+	for i := range lns {
+		svc, err := server.NewService(server.Config{
+			Self:          urls[i],
+			Peers:         urls,
+			CacheMaxBytes: 64 << 20,
+			PeerTimeout:   30 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		servers[i] = &http.Server{Handler: svc}
+		go servers[i].Serve(lns[i])
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	fmt.Println("== 3-shard cluster")
+	for i, u := range urls {
+		fmt.Printf("  shard %d  %s\n", i, u)
+	}
+
+	body, err := json.Marshal(map[string]interface{}{
+		"network": nw, "k": 3, "scheme": "AG", "seed": 7,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	at := []int{20, 40, 60, 80, 99}
-	cfg := roadpart.TemporalConfig{Scheme: roadpart.ASG, Seed: 1}
-
-	for _, mode := range []struct {
-		name string
-		m    roadpart.TemporalMode
-	}{
-		{"global re-partitioning", roadpart.ModeGlobal},
-		{"distributed re-partitioning", roadpart.ModeDistributed},
-	} {
-		frames, err := roadpart.Repartition(net, snaps, at, mode.m, cfg)
-		if err != nil {
-			log.Fatal(err)
+	// The same request through every shard: one owner computes (miss),
+	// every other entry point relays its cached bytes (remote-hit).
+	fmt.Println("\n== one fingerprint, three entry shards")
+	var first []byte
+	for i := range urls {
+		resp, b := post(urls[i]+"/v1/partition", body)
+		fmt.Printf("  via shard %d: %-11s owner=%s\n",
+			i, resp.Header.Get("X-Roadpart-Cache"), resp.Header.Get("X-Roadpart-Shard"))
+		if first == nil {
+			first = b
+		} else if !bytes.Equal(first, b) {
+			log.Fatal("bodies differ between entry shards")
 		}
-		fmt.Printf("== %s\n", mode.name)
-		fmt.Printf("%6s %4s %8s %10s %12s\n", "t", "k", "ANS", "ARI", "elapsed")
-		var total time.Duration
-		for _, fr := range frames {
-			// The first frame has no predecessor: its ARI is undefined
-			// (NaN), not 1.0 — print a dash and keep it out of the mean.
-			ari := "         —"
-			if !math.IsNaN(fr.ARIvsPrev) {
-				ari = fmt.Sprintf("%10.3f", fr.ARIvsPrev)
-			}
-			fmt.Printf("%6d %4d %8.4f %s %12v\n",
-				fr.Snapshot, fr.K, fr.Report.ANS, ari, fr.Elapsed.Round(time.Millisecond))
-			total += fr.Elapsed
-		}
-		fmt.Printf("mean ARI vs previous frame: %.3f\n", roadpart.MeanARI(frames))
-		fmt.Printf("total partitioning time: %v\n\n", total.Round(time.Millisecond))
 	}
+	fmt.Println("  bodies byte-identical across all entry shards")
 
-	fmt.Println("distributed frames re-use the first frame's regions, so later")
-	fmt.Println("rounds are cheaper and drift (1−ARI) stays bounded — the")
-	fmt.Println("trade-off Section 6.4 proposes for real-time deployment.")
+	// Kill the owner: the receiving shard computes locally — the cache
+	// affinity degrades, availability does not.
+	ring, err := peers.NewRing(urls[0], urls)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ownerIdx, entryIdx int
+	resp, _ := post(urls[0]+"/v1/partition", body)
+	owner := resp.Header.Get("X-Roadpart-Shard")
+	for i, u := range urls {
+		if u == owner {
+			ownerIdx = i
+		} else {
+			entryIdx = i
+		}
+	}
+	fmt.Printf("\n== failover: killing owner shard %d\n", ownerIdx)
+	servers[ownerIdx].Close()
+	resp, _ = post(urls[entryIdx]+"/v1/partition", body)
+	fmt.Printf("  via shard %d: %-11s served-by=%s (local fallback)\n",
+		entryIdx, resp.Header.Get("X-Roadpart-Cache"), resp.Header.Get("X-Roadpart-Shard"))
+
+	// The rendezvous bound: a departed shard strands only its own share
+	// of the keyspace (~1/N), never a full reshuffle.
+	after, err := peers.NewRing(urls[0], urls[:2])
+	if err != nil {
+		log.Fatal(err)
+	}
+	moved := 0
+	for key := uint64(0); key < 1000; key++ {
+		if ring.Owner(key) != after.Owner(key) {
+			moved++
+		}
+	}
+	fmt.Printf("\n== remap bound: %d of 1000 keys changed owner when 1 of %d shards left (expect ~%d)\n",
+		moved, n, 1000/n)
+}
+
+func post(url string, body []byte) (*http.Response, []byte) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, b)
+	}
+	return resp, b
 }

@@ -1,0 +1,25 @@
+package jobs
+
+import (
+	"strconv"
+	"strings"
+)
+
+// FingerprintFromID recovers the content fingerprint a job id embeds.
+// Ids are minted by Submit as "j<seq>-<fingerprint as %016x>", so any
+// shard can route a poll for an unknown id to the shard that owns the
+// fingerprint — the shard the submission itself was forwarded to —
+// without a directory service. Returns false for ids that do not carry
+// a parsable fingerprint (foreign or malformed ids), in which case the
+// caller should fall back to local handling and its 404.
+func FingerprintFromID(id string) (uint64, bool) {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 || len(id)-i-1 != 16 {
+		return 0, false
+	}
+	sum, err := strconv.ParseUint(id[i+1:], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return sum, true
+}

@@ -59,7 +59,8 @@ type JobStatusResponse struct {
 // handleJobSubmit serves POST /v1/jobs.
 func (s *service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobSubmitRequest
-	if !readJSON(w, r, &req) {
+	raw, ok := s.readKeyed(w, r, &req)
+	if !ok {
 		return
 	}
 	spec, err := s.jobSpec(&req)
@@ -67,6 +68,14 @@ func (s *service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// A job is submitted to its fingerprint's owner so the job state
+	// machine and the cached result live on the same shard; the minted
+	// id embeds the fingerprint, which is how later polls find it
+	// (jobs.FingerprintFromID). Unreachable owner → accept locally.
+	if s.forwardKeyed(w, r, spec.Key.Sum, raw) {
+		return
+	}
+	s.markShard(w)
 	v, deduped, err := s.jobs.Submit(spec)
 	if err != nil {
 		s.writeJobSubmitErr(w, err)
@@ -262,6 +271,10 @@ func (s *service) writeJobSubmitErr(w http.ResponseWriter, err error) {
 func (s *service) handleJobItem(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	id, sub, _ := strings.Cut(rest, "/")
+	if id != "" && (sub == "" || sub == "result") && s.forwardJobItem(w, r, id) {
+		return
+	}
+	s.markShard(w)
 	switch {
 	case id == "":
 		writeErr(w, http.StatusNotFound, fmt.Errorf("missing job id"))

@@ -36,6 +36,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,7 @@ import (
 	"roadpart/internal/core"
 	"roadpart/internal/jobs"
 	"roadpart/internal/metrics"
+	"roadpart/internal/peers"
 	"roadpart/internal/render"
 	"roadpart/internal/resultcache"
 	"roadpart/internal/roadnet"
@@ -202,18 +204,35 @@ type Config struct {
 	// JobNoSync skips the per-record journal fsync (tests; a power loss
 	// may drop the trailing records).
 	JobNoSync bool
+	// Self is this daemon's own advertised base URL (http://host:port).
+	// Setting it (or Peers) enables the sharded multi-daemon mode: every
+	// content-addressed request is routed to the shard whose rendezvous
+	// position owns its fingerprint (docs/DISTRIBUTED.md). Empty with an
+	// empty Peers serves single-node, exactly as before peering existed.
+	Self string
+	// Peers lists the other shards' base URLs (Self is folded in
+	// automatically, so the same list can be deployed to every shard).
+	// All shards must agree on the membership — disagreement degrades to
+	// extra hops and duplicated cache entries, never to wrong answers.
+	Peers []string
+	// PeerTimeout bounds one forwarded exchange (dial through response).
+	// 0 selects MaxTimeout plus headroom, so a forwarded request
+	// outlives the owner's longest allowed compute.
+	PeerTimeout time.Duration
 }
 
 // service carries the server configuration into the handlers.
 type service struct {
-	cfg    Config
-	slots  chan struct{}      // in-flight tokens; nil when admission is off
-	queued atomic.Int64       // requests waiting for a slot
-	cache  *resultcache.Cache // nil when caching is off
-	stream stream             // the density stream (daemon mode)
-	hub    *watchHub          // /v1/watch fan-out
-	jobs   *jobs.Manager      // durable async jobs (always on)
-	lat    latEWMA            // observed compute latency → Retry-After hints
+	cfg        Config
+	slots      chan struct{}      // in-flight tokens; nil when admission is off
+	queued     atomic.Int64       // requests waiting for a slot
+	cache      *resultcache.Cache // nil when caching is off
+	stream     stream             // the density stream (daemon mode)
+	hub        *watchHub          // /v1/watch fan-out
+	jobs       *jobs.Manager      // durable async jobs (always on)
+	lat        latEWMA            // observed compute latency → Retry-After hints
+	ring       *peers.Ring        // shard membership; nil when peering is off
+	peerClient *peers.Client      // bounded transport for the forwarding hop
 }
 
 // New returns the service's HTTP handler with default configuration.
@@ -262,6 +281,11 @@ func (sv *Service) Close(ctx context.Context) error {
 
 func newService(cfg Config) (*service, error) {
 	s := &service{cfg: cfg, hub: newWatchHub()}
+	ring, pc, err := newPeering(cfg, s.maxTimeout)
+	if err != nil {
+		return nil, err
+	}
+	s.ring, s.peerClient = ring, pc
 	if cfg.MaxInFlight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInFlight)
 	}
@@ -375,7 +399,8 @@ func handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *service) handlePartition(w http.ResponseWriter, r *http.Request) {
 	var req PartitionRequest
-	if !readJSON(w, r, &req) {
+	raw, ok := s.readKeyed(w, r, &req)
+	if !ok {
 		return
 	}
 	cfg, err := s.partitionConfig(&req)
@@ -383,6 +408,12 @@ func (s *service) handlePartition(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// Peer routing: the fingerprint's owner computes and caches this
+	// result; an unreachable owner falls through to the local path.
+	if s.forwardKeyed(w, r, resultcache.PartitionKey(req.Network, cfg).Sum, raw) {
+		return
+	}
+	s.markShard(w)
 	ctx, cancel, budget := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 	compute := func(ctx context.Context) ([]byte, error) {
@@ -441,7 +472,8 @@ func (s *service) computePartition(ctx context.Context, net *roadnet.Network, cf
 
 func (s *service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
-	if !readJSON(w, r, &req) {
+	raw, ok := s.readKeyed(w, r, &req)
+	if !ok {
 		return
 	}
 	// The requested range (after defaulting) is the cacheable identity;
@@ -453,6 +485,10 @@ func (s *service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if s.forwardKeyed(w, r, resultcache.SweepKey(req.Network, cfg, kMin, kMax).Sum, raw) {
+		return
+	}
+	s.markShard(w)
 	ctx, cancel, budget := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 	compute := func(ctx context.Context) ([]byte, error) {
@@ -551,12 +587,59 @@ func allow(w http.ResponseWriter, r *http.Request, method string) bool {
 }
 
 // readJSON decodes the request body, writing the error response itself
-// and returning false on failure.
+// and returning false on failure. It stream-decodes straight from the
+// body — no copy — so it is the right reader everywhere the raw bytes
+// are not needed afterwards; keyed routes that may forward to a peer
+// use readKeyed instead.
 func readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
 	if !allow(w, r, http.MethodPost) {
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// readKeyed reads a keyed route's request. In sharded mode the body is
+// buffered whole so the request can be proxied to the owning shard
+// byte-identical (raw is non-nil); single-node mode keeps the zero-copy
+// streaming decode and returns nil raw, which the forwarding helpers
+// treat as "serve locally". Buffering only when a ring exists keeps the
+// single-node hot path's allocation profile unchanged.
+func (s *service) readKeyed(w http.ResponseWriter, r *http.Request, dst interface{}) ([]byte, bool) {
+	if s.ring == nil {
+		return nil, readJSON(w, r, dst)
+	}
+	raw, ok := readRaw(w, r)
+	if !ok {
+		return nil, false
+	}
+	return raw, decodeJSON(w, raw, dst)
+}
+
+// readRaw enforces POST and reads the bounded body whole. The
+// forwarding layer needs the raw bytes: a proxied request must reach
+// the owning shard byte-identical, not re-marshaled, so both shards
+// serve literally the same document.
+func readRaw(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	if !allow(w, r, http.MethodPost) {
+		return nil, false
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return nil, false
+	}
+	return raw, true
+}
+
+// decodeJSON is readJSON's decode half, over an already-read body.
+func decodeJSON(w http.ResponseWriter, raw []byte, dst interface{}) bool {
+	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))

@@ -154,9 +154,23 @@ func buildMode(mode string) (temporal.Mode, error) {
 // every compute endpoint shares.
 func (s *service) handleDensities(w http.ResponseWriter, r *http.Request) {
 	var req DensitiesRequest
-	if !readJSON(w, r, &req) {
+	raw, ok := s.readKeyed(w, r, &req)
+	if !ok {
 		return
 	}
+	// The density stream is a stateful singleton: every step must land
+	// on the same tracker, so the whole resource lives on the ring owner
+	// of streamRouteKey. No local fallback — a step applied to a second
+	// tracker would silently fork the stream — so an unreachable home is
+	// a 502 and the client retries the same, still-consistent resource.
+	if home := s.streamHome(r); home != "" {
+		if !s.proxy(w, r, home, raw) {
+			writeErr(w, http.StatusBadGateway,
+				fmt.Errorf("density-stream home %s unreachable", home))
+		}
+		return
+	}
+	s.markShard(w)
 	if req.Densities != nil && req.Updates != nil {
 		writeErr(w, http.StatusBadRequest,
 			fmt.Errorf("densities and updates are mutually exclusive; send one per call"))
@@ -276,6 +290,13 @@ func (s *service) handleWatch(w http.ResponseWriter, r *http.Request) {
 	if !allow(w, r, http.MethodGet) {
 		return
 	}
+	// Subscriptions follow the stream to its home shard; the hop relays
+	// the event stream unbuffered (proxyStream flushes per chunk).
+	if home := s.streamHome(r); home != "" {
+		s.proxyStream(w, r, home)
+		return
+	}
+	s.markShard(w)
 	// ResponseController reaches the Flusher through the instrumentation
 	// middleware's Unwrap; a connection that cannot flush errors out of
 	// the first Flush below and the handler just ends.
